@@ -1,0 +1,42 @@
+"""A-3 ablation: maximal throughput via MCM/HSDF vs state space.
+
+The paper obtains the maximal achievable throughput through the
+classical maximum-cycle-mean route [GG93]; the library also computes
+it by executing the verified upper-bound distribution.  Both are
+exact and must agree; their costs scale differently with the
+repetition vector.
+"""
+
+import pytest
+
+from repro.analysis.throughput import max_throughput
+
+GRAPHS = ["fig1", "fig6", "modem_graph", "satellite_graph"]
+
+
+@pytest.mark.parametrize("fixture_name", GRAPHS)
+@pytest.mark.parametrize("method", ["mcm", "statespace"])
+def test_max_throughput_method(benchmark, request, fixture_name, method):
+    graph = request.getfixturevalue(fixture_name)
+    value = benchmark.pedantic(
+        lambda: max_throughput(graph, method=method), rounds=1, iterations=1
+    )
+    assert value > 0
+
+
+def test_methods_agree_everywhere(benchmark, request):
+    def check():
+        results = {}
+        for fixture_name in GRAPHS:
+            graph = request.getfixturevalue(fixture_name)
+            mcm = max_throughput(graph, method="mcm")
+            statespace = max_throughput(graph, method="statespace")
+            assert mcm == statespace, fixture_name
+            results[fixture_name] = mcm
+        return results
+
+    results = benchmark.pedantic(check, rounds=1, iterations=1)
+    print()
+    print("maximal throughput per graph (MCM == state space):")
+    for name, value in results.items():
+        print(f"  {name:16s} {value}")

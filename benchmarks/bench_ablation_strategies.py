@@ -1,0 +1,54 @@
+"""A-1 ablation: exploration strategy comparison.
+
+The paper's Sec. 9 strategy (divide-and-conquer over sizes with a
+throughput-dimension search) is compared against the plain exhaustive
+sweep and the storage-dependency-guided strategy used by the SDF3
+implementation.  All three return the same exact Pareto front; they
+differ — enormously — in the number of throughput evaluations.
+"""
+
+import pytest
+
+from repro.buffers.explorer import explore_design_space
+
+STRATEGIES = ("dependency", "divide", "exhaustive")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy_on_example(benchmark, fig1, strategy):
+    result = benchmark(lambda: explore_design_space(fig1, "c", strategy=strategy))
+    assert [(p.size, str(p.throughput)) for p in result.front] == [
+        (6, "1/7"),
+        (8, "1/6"),
+        (9, "1/5"),
+        (10, "1/4"),
+    ]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy_on_fig6(benchmark, fig6, strategy):
+    result = benchmark(lambda: explore_design_space(fig6, "d", strategy=strategy))
+    assert len(result.front) >= 2
+
+
+def test_strategy_cost_comparison(benchmark, fig1, fig6):
+    """Evaluation counts per strategy (the ablation's headline data)."""
+    benchmark.pedantic(
+        lambda: explore_design_space(fig1, "c", strategy="dependency"), rounds=1, iterations=1
+    )
+    print()
+    print("evaluations per strategy (front identical in every cell):")
+    header = f"  {'graph':10s}" + "".join(f"{s:>12s}" for s in STRATEGIES)
+    print(header)
+    for name, graph, observe in (("example", fig1, "c"), ("fig6", fig6, "d")):
+        counts = []
+        fronts = []
+        for strategy in STRATEGIES:
+            result = explore_design_space(graph, observe, strategy=strategy)
+            counts.append(result.stats.evaluations)
+            fronts.append(result.front)
+        assert fronts[0] == fronts[1] == fronts[2]
+        print(f"  {name:10s}" + "".join(f"{c:12d}" for c in counts))
+        # The dependency strategy never needs more evaluations than the
+        # exhaustive sweep.
+        assert counts[0] <= counts[2]

@@ -1,0 +1,54 @@
+"""Baseline comparison: exact exploration vs the related work's methods.
+
+Sec. 1 of the paper argues that (a) deadlock-free minimisation without
+a throughput constraint can yield implementations that miss their
+timing constraints, and (b) the existing throughput-aware heuristics
+produce buffer sizes "as close as possible to the minimal size; none
+of the techniques is exact".  This benchmark quantifies both gaps on
+the running example and the sample-rate converter.
+"""
+
+from fractions import Fraction
+
+from repro.baselines.deadlockfree import minimal_deadlock_free_distribution
+from repro.baselines.greedy import greedy_minimize
+from repro.buffers.explorer import explore_design_space, minimal_distribution_for_throughput
+
+
+def test_deadlock_free_minimum_misses_throughput(benchmark, fig1):
+    """[GBS05]-style sizing meets deadlock-freedom but not the paper's
+    example constraint of maximal throughput."""
+    distribution, throughput = benchmark(
+        lambda: minimal_deadlock_free_distribution(fig1, "c")
+    )
+    assert distribution.size == 6
+    assert throughput == Fraction(1, 7)  # well below the max of 1/4
+
+    exact = minimal_distribution_for_throughput(fig1, Fraction(1, 4), "c")
+    print()
+    print(f"deadlock-free minimum: size 6 at throughput 1/7;"
+          f" meeting 1/4 needs size {exact.size}")
+
+
+def test_greedy_heuristic_versus_exact(benchmark, samplerate_graph):
+    """The greedy shrink ([HLH91]/[GGD02] spirit) upper-bounds the
+    exact minimum for the maximal throughput."""
+    space = explore_design_space(samplerate_graph)
+    target = space.max_throughput
+
+    greedy_dist, greedy_thr, evaluations = benchmark.pedantic(
+        lambda: greedy_minimize(samplerate_graph, target), rounds=1, iterations=1
+    )
+    exact = space.front.max_throughput_point
+
+    assert greedy_thr >= target
+    assert greedy_dist.size >= exact.size
+
+    print()
+    print(f"target throughput {target}: greedy size {greedy_dist.size}"
+          f" ({evaluations} evaluations) vs exact minimum {exact.size}")
+
+
+def test_exact_explorer_is_the_reference(benchmark, fig1):
+    result = benchmark(lambda: explore_design_space(fig1, "c"))
+    assert len(result.front) == 4

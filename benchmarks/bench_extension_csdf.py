@@ -1,0 +1,60 @@
+"""X5 extension: CSDF exploration vs the SDF pipeline.
+
+The paper's conclusions propose generalising to richer dataflow
+models; this benchmark runs the CSDF generalisation and checks it
+against the SDF explorer on lifted graphs (identical fronts) and on a
+genuinely cyclo-static decimator.
+"""
+
+from fractions import Fraction
+
+from repro.buffers.explorer import explore_design_space
+from repro.csdf.explorer import explore_csdf_design_space
+from repro.csdf.graph import CSDFGraph, from_sdf
+
+
+def decimator() -> CSDFGraph:
+    graph = CSDFGraph("decimator")
+    graph.add_actor("src", (1,))
+    graph.add_actor("biquad", (2,))
+    graph.add_actor("decim", (2, 1))
+    graph.add_actor("snk", (1,))
+    graph.add_channel("src", "biquad", (1,), (1,), name="raw")
+    graph.add_channel("biquad", "decim", (1,), (1, 1), name="filtered")
+    graph.add_channel("decim", "snk", (1, 0), (1,), name="decimated")
+    return graph
+
+
+def test_csdf_decimator_exploration(benchmark):
+    graph = decimator()
+    result = benchmark(lambda: explore_csdf_design_space(graph, "snk"))
+    assert result.max_throughput == Fraction(1, 4)
+    assert len(result.front) >= 2
+    print()
+    print("CSDF decimator Pareto space:")
+    for point in result.front:
+        print(f"  {point}")
+
+
+def test_lifted_sdf_front_identical(benchmark, fig1):
+    lifted = from_sdf(fig1)
+
+    def both():
+        return (
+            explore_design_space(fig1, "c").front,
+            explore_csdf_design_space(lifted, "c").front,
+        )
+
+    sdf_front, csdf_front = benchmark(both)
+    assert [(p.size, p.throughput) for p in sdf_front] == [
+        (p.size, p.throughput) for p in csdf_front
+    ]
+
+
+def test_csdf_engine_overhead_on_sdf_graph(benchmark, fig1):
+    """The phase-generalised engine on a single-phase graph."""
+    from repro.csdf.executor import CSDFExecutor
+
+    lifted = from_sdf(fig1)
+    result = benchmark(lambda: CSDFExecutor(lifted, {"alpha": 4, "beta": 2}, "c").run())
+    assert result.throughput == Fraction(1, 7)

@@ -1,0 +1,42 @@
+"""X1 extension: shared-memory vs per-channel storage (Sec. 3 models).
+
+The paper sizes channels separately ("a conservative bound on the
+required memory space when ... implemented in a real system"); with a
+single shared memory "the SDF graph may require less memory, but it
+will never require more".  This benchmark quantifies the gap along the
+Pareto front of the running example and the sample-rate converter.
+"""
+
+from repro.buffers.explorer import explore_design_space
+from repro.buffers.shared import compare_storage_models, shared_memory_requirement
+
+
+def test_shared_memory_of_running_example(benchmark, fig1):
+    report = benchmark(
+        lambda: shared_memory_requirement(fig1, {"alpha": 4, "beta": 2}, "c")
+    )
+    assert report.peak_shared_tokens <= report.distribution_size
+    print()
+    print(
+        f"example under (4,2): distributed 6 tokens, shared peak"
+        f" {report.peak_shared_tokens} (saves {report.saving})"
+    )
+
+
+def test_shared_memory_along_samplerate_front(benchmark, samplerate_graph):
+    space = explore_design_space(samplerate_graph)
+
+    reports = benchmark.pedantic(
+        lambda: compare_storage_models(samplerate_graph, space.front),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(r.peak_shared_tokens <= r.distribution_size for r in reports)
+    assert any(r.saving > 0 for r in reports)
+    print()
+    print("sample-rate converter: distributed vs shared storage per Pareto point:")
+    for point, report in zip(space.front, reports):
+        print(
+            f"  thr {str(point.throughput):>7s}: distributed {point.size:3d},"
+            f" shared {report.peak_shared_tokens:3d} (saves {report.saving})"
+        )

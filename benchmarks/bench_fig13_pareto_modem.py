@@ -1,0 +1,33 @@
+"""E-F13: regenerate Fig. 13 — the Pareto space of the modem.
+
+Paper: the modem's complete design space is explored; the published
+figure shows a small staircase of trade-off points.  The modem here is
+a documented reconstruction (DESIGN.md), so the absolute coordinates
+differ while the staircase shape and scale are reproduced.
+"""
+
+from repro.buffers.explorer import explore_design_space
+from repro.reporting.plots import ascii_pareto
+
+
+def explore(graph):
+    return explore_design_space(graph)
+
+
+def test_fig13_pareto_modem(benchmark, modem_graph):
+    result = benchmark.pedantic(explore, args=(modem_graph,), rounds=1, iterations=1)
+
+    front = result.front
+    assert 2 <= len(front) <= 20  # a small staircase, as in the figure
+    sizes = front.sizes()
+    assert sizes == sorted(set(sizes))
+    assert front.max_throughput_point.throughput == result.max_throughput
+    # All points lie within the meaningful size interval.
+    assert front.min_positive.size >= result.lower_bounds.size
+    assert front[-1].size <= result.upper_bounds.size
+
+    print()
+    print(ascii_pareto(front, title="Fig. 13 — Pareto space of the modem (reconstruction)"))
+    print(f"explored with {result.stats.evaluations} evaluations,"
+          f" max {result.stats.max_states_stored} stored states,"
+          f" {result.stats.wall_time_s:.2f}s")

@@ -1,0 +1,29 @@
+"""E-F3: regenerate Fig. 3 — the full timed state space of the example.
+
+Paper: the execution of Fig. 1 under (4, 2) traverses a transient
+prefix into a single cycle of 7 states (Property 1); the first states
+are (1,0,0,0,0), (1,0,0,2,0), (0,2,0,4,0).
+"""
+
+from repro.engine.executor import Executor
+from repro.engine.state import SDFState
+
+
+def explore(fig1):
+    return Executor(fig1, {"alpha": 4, "beta": 2}, "c").explore_full_state_space()
+
+
+def test_fig3_full_state_space(benchmark, fig1):
+    states, cycle_start = benchmark(explore, fig1)
+
+    assert states[0] == SDFState((1, 0, 0), (0, 0))
+    assert states[1] == SDFState((1, 0, 0), (2, 0))
+    assert states[2] == SDFState((0, 2, 0), (4, 0))
+    assert len(states) - cycle_start == 7  # exactly one 7-state cycle
+    assert len(set(states)) == len(states)
+
+    print()
+    print("Fig. 3 — timed state space (clocks a,b,c | tokens alpha,beta):")
+    for index, state in enumerate(states):
+        marker = " <- cycle start" if index == cycle_start else ""
+        print(f"  {index:2d}: {state}{marker}")

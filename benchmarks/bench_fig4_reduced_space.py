@@ -1,0 +1,30 @@
+"""E-F4: regenerate Fig. 4 — the reduced state space observing actor c.
+
+Paper: only states at completions of c are kept, extended with the
+distance dimension d; the first is reached 9 time instances after the
+start, then a self-cycle with d = 7 whose throughput is 1/7.
+"""
+
+from fractions import Fraction
+
+from repro.engine.executor import Executor
+
+
+def run_reduced(fig1):
+    return Executor(fig1, {"alpha": 4, "beta": 2}, "c").run()
+
+
+def test_fig4_reduced_state_space(benchmark, fig1):
+    result = benchmark(run_reduced, fig1)
+
+    assert result.first_firing_time == 9
+    assert [record.distance for record in result.reduced_states] == [9, 7, 7]
+    assert result.states_stored == 2  # the reduced space has 2 states
+    assert result.throughput == Fraction(1, 7)
+
+    print()
+    print("Fig. 4 — reduced state space (state tuple, d):")
+    for record in result.reduced_states:
+        print(f"  {record}")
+    print(f"  throughput of c = {result.firings_in_cycle}/{result.cycle_duration}"
+          f" = {result.throughput}")

@@ -1,0 +1,31 @@
+"""E-F5: regenerate Fig. 5 — Pareto space of the running example.
+
+Paper: (4,2) is the smallest distribution with positive throughput
+(1/7); the maximal throughput 1/4 is reached at distribution size 10;
+(4,2) and (6,2) are minimal storage distributions, (5,2) is not.
+"""
+
+from fractions import Fraction
+
+from repro.buffers.explorer import explore_design_space
+from repro.reporting.plots import ascii_pareto
+
+
+def explore(fig1):
+    return explore_design_space(fig1, "c")
+
+
+def test_fig5_pareto_space(benchmark, fig1):
+    result = benchmark(explore, fig1)
+
+    front = result.front
+    assert [(p.size, p.throughput) for p in front] == [
+        (6, Fraction(1, 7)),
+        (8, Fraction(1, 6)),
+        (9, Fraction(1, 5)),
+        (10, Fraction(1, 4)),
+    ]
+    assert {"alpha": 4, "beta": 2} in [dict(w) for w in front[0].witnesses]
+
+    print()
+    print(ascii_pareto(front, title="Fig. 5 — Pareto space of the example graph"))

@@ -1,0 +1,49 @@
+"""E-F7: regenerate Fig. 7 — the bounds delimiting the design space.
+
+Paper: per-channel lower bounds [ALP97/Mur96], a combined lower bound
+[GBS05] and a combined upper bound [GGD02] box in every minimal
+storage distribution; for the example graph lb = (4, 2).
+"""
+
+from repro.buffers.bounds import (
+    lower_bound_distribution,
+    size_bounds,
+    upper_bound_distribution,
+)
+
+
+def compute_bounds(graph):
+    return (
+        lower_bound_distribution(graph),
+        upper_bound_distribution(graph),
+        size_bounds(graph),
+    )
+
+
+def test_fig7_bounds_example(benchmark, fig1):
+    lower, upper, (low_size, high_size) = benchmark(compute_bounds, fig1)
+
+    assert dict(lower) == {"alpha": 4, "beta": 2}
+    assert dict(upper) == {"alpha": 12, "beta": 4}
+    assert (low_size, high_size) == (6, 16)
+
+    print()
+    print("Fig. 7 — storage bound box of the example graph:")
+    print(f"  per-channel lb: {lower}   combined lb = {low_size}")
+    print(f"  per-channel ub: {upper}   combined ub = {high_size}")
+
+
+def test_fig7_bounds_contain_front(fig6, benchmark):
+    """Every Pareto point of the Fig. 6 graph lies inside [lb, ub]."""
+    from repro.buffers.explorer import explore_design_space
+
+    result = benchmark.pedantic(
+        lambda: explore_design_space(fig6, "d"), rounds=1, iterations=1
+    )
+    low_size, high_size = size_bounds(fig6)
+    for point in result.front:
+        assert low_size <= point.size <= high_size
+
+    print()
+    print(f"Fig. 7 — Fig. 6 graph: front sizes {result.front.sizes()} within"
+          f" [{low_size}, {high_size}]")

@@ -1,0 +1,57 @@
+"""E-Q: the paper's quantisation experiment on the H.263 decoder.
+
+Sec. 11: the H.263 design space contains very many Pareto points with
+nearly identical throughputs; "by quantizing the throughputs that are
+searched ..., the number of Pareto points can be limited", which
+"drastically improves the execution time".
+
+Here: a full exact exploration vs a quantised one on the scaled H.263
+model; the quantised front must be much smaller while still reaching
+the maximal throughput, and the quantised divide-and-conquer search
+must evaluate fewer distributions than the exact one.
+"""
+
+from fractions import Fraction
+
+from repro.buffers.explorer import explore_design_space
+from repro.buffers.quantize import thin_front
+
+
+def test_h263_exact_exploration(benchmark, h263_graph):
+    result = benchmark.pedantic(
+        lambda: explore_design_space(h263_graph), rounds=1, iterations=1
+    )
+    # The quantisation motivation: a flood of near-identical points.
+    assert len(result.front) >= 20
+
+    print()
+    print(f"exact H.263 front: {len(result.front)} Pareto points,"
+          f" {result.stats.evaluations} evaluations")
+
+
+def test_h263_quantized_front_is_small(benchmark, h263_graph, h263_space):
+    quantum = h263_space.max_throughput / 8
+
+    def quantized():
+        return explore_design_space(h263_graph, quantum=quantum)
+
+    result = benchmark.pedantic(quantized, rounds=1, iterations=1)
+
+    assert len(result.front) < len(h263_space.front) / 2
+    assert result.front.max_throughput_point.throughput == h263_space.max_throughput
+
+    print()
+    print(f"quantised front (quantum {quantum}): {len(result.front)} points"
+          f" vs {len(h263_space.front)} exact")
+
+
+def test_quantized_thinning_preserves_levels(h263_space, benchmark):
+    quantum = h263_space.max_throughput / 8
+
+    thinned = benchmark(lambda: thin_front(h263_space.front, quantum))
+
+    # Every reached quantum level keeps its cheapest representative.
+    assert thinned.sizes() == sorted(thinned.sizes())
+    assert len(thinned) <= 9
+    for point in thinned:
+        assert point in list(h263_space.front)

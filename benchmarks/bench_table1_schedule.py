@@ -1,0 +1,32 @@
+"""E-T1: regenerate Table 1 — the schedule of the running example.
+
+Paper: Fig. 1 graph under storage distribution (alpha, beta) -> (4, 2);
+actors a, a, b, b*, ... with c first firing in step 8 and a new
+iteration every 7 steps.
+"""
+
+from fractions import Fraction
+
+from repro.engine.executor import Executor
+from repro.reporting.tables import schedule_table
+
+
+def run_schedule(fig1):
+    return Executor(fig1, {"alpha": 4, "beta": 2}, "c", record_schedule=True).run()
+
+
+def test_table1_schedule(benchmark, fig1):
+    result = benchmark(run_schedule, fig1)
+
+    # Shape checks against the paper's Table 1.
+    assert result.throughput == Fraction(1, 7)
+    schedule = result.schedule
+    assert schedule.start_times("a")[:2] == [0, 1]  # steps 1, 2
+    assert schedule.start_times("b")[0] == 2  # step 3
+    assert schedule.start_times("c")[0] == 7  # step 8
+    gaps = [b - a for a, b in zip(schedule.start_times("c"), schedule.start_times("c")[1:])]
+    assert set(gaps) == {7}  # a new iteration every 7 steps
+
+    print()
+    print("Table 1 — schedule for the running example, distribution (4, 2):")
+    print(schedule_table(schedule, 16))

@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Runs are performed through
+pytest-benchmark::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see the regenerated artefacts (schedule tables,
+ASCII Pareto charts, the Table-2 summary) on stdout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffers.explorer import explore_design_space
+from repro.gallery import (
+    fig1_example,
+    fig6_example,
+    h263_decoder,
+    modem,
+    sample_rate_converter,
+    satellite_receiver,
+)
+
+#: Scaled H.263 burst used by default in the harness (full rate 2376 is
+#: reachable by editing this constant; see EXPERIMENTS.md).
+H263_BLOCKS = 33
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return fig1_example()
+
+
+@pytest.fixture(scope="session")
+def fig6():
+    return fig6_example()
+
+
+@pytest.fixture(scope="session")
+def modem_graph():
+    return modem()
+
+
+@pytest.fixture(scope="session")
+def samplerate_graph():
+    return sample_rate_converter()
+
+
+@pytest.fixture(scope="session")
+def satellite_graph():
+    return satellite_receiver()
+
+
+@pytest.fixture(scope="session")
+def h263_graph():
+    return h263_decoder(blocks=H263_BLOCKS)
+
+
+@pytest.fixture(scope="session")
+def fig1_space(fig1):
+    return explore_design_space(fig1, "c")
+
+
+@pytest.fixture(scope="session")
+def modem_space(modem_graph):
+    return explore_design_space(modem_graph)
+
+
+@pytest.fixture(scope="session")
+def h263_space(h263_graph):
+    return explore_design_space(h263_graph)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The H.263 decoder and throughput quantisation (Sec. 11).
+
+The H.263 decoder's design space contains a very large number of
+Pareto points whose throughputs differ only marginally.  The paper
+limits the points searched by quantising the throughput dimension,
+which "drastically improves the execution time of the design-space
+exploration".  This example reproduces the effect on a scaled decoder
+model (pass a different block count to approach the full-rate 2376).
+
+Run with:  python examples/h263_quantization.py [blocks]
+"""
+
+import sys
+import time
+
+from repro import explore_design_space
+from repro.gallery import h263_decoder
+from repro.reporting import ascii_pareto
+
+
+def main() -> None:
+    blocks = int(sys.argv[1]) if len(sys.argv) > 1 else 33
+    graph = h263_decoder(blocks=blocks)
+    print(f"H.263 decoder with {blocks} macroblock tokens per frame")
+    print(graph.describe())
+    print()
+
+    started = time.perf_counter()
+    exact = explore_design_space(graph)
+    exact_time = time.perf_counter() - started
+    print(f"exact exploration: {len(exact.front)} Pareto points,"
+          f" {exact.stats.evaluations} evaluations, {exact_time:.2f}s")
+
+    quantum = exact.max_throughput / 8
+    started = time.perf_counter()
+    quantised = explore_design_space(graph, quantum=quantum)
+    quantised_time = time.perf_counter() - started
+    print(f"quantised exploration (quantum {quantum}):"
+          f" {len(quantised.front)} Pareto points, {quantised_time:.2f}s")
+    print()
+
+    print(ascii_pareto(quantised.front, title="quantised H.263 Pareto space"))
+    print("kept points (smallest distribution per throughput level):")
+    for point in quantised.front:
+        print(f"  {point}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Fig. 1 graph, executes it under the storage distribution
+(alpha, beta) -> (4, 2), prints the Table-1 schedule, and charts the
+complete storage/throughput Pareto space (Fig. 5).
+
+Run with:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import GraphBuilder, Executor, explore_design_space, repetition_vector
+from repro.reporting import ascii_pareto, schedule_table
+
+
+def main() -> None:
+    # 1. Describe the SDF graph (Fig. 1 of the paper).
+    graph = (
+        GraphBuilder("example")
+        .actor("a", execution_time=1)
+        .actor("b", execution_time=2)
+        .actor("c", execution_time=2)
+        .channel("a", "b", production=2, consumption=3, name="alpha")
+        .channel("b", "c", production=1, consumption=2, name="beta")
+        .build()
+    )
+    print(graph.describe())
+    print(f"repetition vector: {repetition_vector(graph)}")
+    print()
+
+    # 2. Execute it under a concrete storage distribution.
+    result = Executor(graph, {"alpha": 4, "beta": 2}, "c", record_schedule=True).run()
+    print(f"throughput of 'c' under (4, 2): {result.throughput}"
+          f"  (one firing every {result.period} steps)")
+    print()
+    print("schedule (Table 1 of the paper):")
+    print(schedule_table(result.schedule, 16))
+    print()
+
+    # 3. Chart the full buffer-size / throughput trade-off space.
+    space = explore_design_space(graph, observe="c")
+    print(space.summary())
+    print()
+    print(ascii_pareto(space.front, title="Pareto space (Fig. 5 of the paper)"))
+
+    # 4. Answer the headline question: minimal memory for a constraint.
+    from repro import minimal_distribution_for_throughput
+
+    point = minimal_distribution_for_throughput(graph, Fraction(1, 6), "c")
+    print(f"minimal storage for throughput >= 1/6: {point.distribution}"
+          f" (total {point.size} tokens)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — exact buffer-size / throughput trade-off exploration for SDF graphs.
+
+A faithful, self-contained reproduction of
+
+    S. Stuijk, M. Geilen, T. Basten,
+    "Exploring Trade-Offs in Buffer Requirements and Throughput
+    Constraints for Synchronous Dataflow Graphs", DAC 2006.
+
+Quickstart
+----------
+>>> from repro import GraphBuilder, explore_design_space
+>>> graph = (GraphBuilder("example")
+...          .actor("a", 1).actor("b", 2).actor("c", 2)
+...          .channel("a", "b", 2, 3, name="alpha")
+...          .channel("b", "c", 1, 2, name="beta")
+...          .build())
+>>> space = explore_design_space(graph, observe="c")
+>>> [(p.size, str(p.throughput)) for p in space.front]
+[(6, '1/7'), (8, '1/6'), (9, '1/5'), (10, '1/4')]
+"""
+
+from repro.analysis import (
+    is_consistent,
+    is_deadlock_free,
+    max_throughput,
+    repetition_vector,
+    throughput,
+)
+from repro.buffers import (
+    DesignSpaceResult,
+    ParetoFront,
+    ParetoPoint,
+    StorageDistribution,
+    explore_design_space,
+    lower_bound_distribution,
+    minimal_distribution_for_throughput,
+    upper_bound_distribution,
+)
+from repro.engine import ExecutionResult, Executor, Schedule, execute
+from repro.exceptions import (
+    CapacityError,
+    DeadlockError,
+    EngineError,
+    ExplorationError,
+    GraphError,
+    InconsistentGraphError,
+    ParseError,
+    ReproError,
+    ValidationError,
+)
+from repro.graph import Actor, Channel, GraphBuilder, SDFGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Actor",
+    "CapacityError",
+    "Channel",
+    "DeadlockError",
+    "DesignSpaceResult",
+    "EngineError",
+    "ExecutionResult",
+    "Executor",
+    "ExplorationError",
+    "GraphBuilder",
+    "GraphError",
+    "InconsistentGraphError",
+    "ParetoFront",
+    "ParetoPoint",
+    "ParseError",
+    "ReproError",
+    "SDFGraph",
+    "Schedule",
+    "StorageDistribution",
+    "ValidationError",
+    "__version__",
+    "execute",
+    "explore_design_space",
+    "is_consistent",
+    "is_deadlock_free",
+    "lower_bound_distribution",
+    "max_throughput",
+    "minimal_distribution_for_throughput",
+    "repetition_vector",
+    "throughput",
+    "upper_bound_distribution",
+]

@@ -1,0 +1,35 @@
+"""Classical SDF analyses.
+
+* :mod:`repro.analysis.repetitions` — balance equations / repetition
+  vector (Lee & Messerschmitt, 1987),
+* :mod:`repro.analysis.consistency` — consistency checking (Lee, 1991),
+* :mod:`repro.analysis.deadlock` — unbounded-storage deadlock-freedom,
+* :mod:`repro.analysis.hsdf` — SDF to homogeneous-SDF expansion,
+* :mod:`repro.analysis.mcm` — maximum cycle ratio (max cycle mean),
+* :mod:`repro.analysis.throughput` — exact throughput of a graph under
+  a storage distribution via state-space exploration (Secs. 6-7 of the
+  paper) and maximal-throughput computation ([GG93] substrate).
+"""
+
+from repro.analysis.consistency import assert_consistent, is_consistent
+from repro.analysis.deadlock import is_deadlock_free
+from repro.analysis.hsdf import HSDFGraph, to_hsdf
+from repro.analysis.mcm import maximum_cycle_ratio
+from repro.analysis.latency import initial_latency, iteration_latency
+from repro.analysis.repetitions import repetition_vector
+from repro.analysis.throughput import all_actor_throughputs, max_throughput, throughput
+
+__all__ = [
+    "HSDFGraph",
+    "all_actor_throughputs",
+    "assert_consistent",
+    "initial_latency",
+    "is_consistent",
+    "is_deadlock_free",
+    "iteration_latency",
+    "max_throughput",
+    "maximum_cycle_ratio",
+    "repetition_vector",
+    "throughput",
+    "to_hsdf",
+]

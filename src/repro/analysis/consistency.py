@@ -1,0 +1,32 @@
+"""Consistency checking.
+
+A graph is *consistent* when its balance equations admit a non-trivial
+solution.  Only consistent graphs allow a deadlock-free execution
+within bounded memory (Lee, 1991), so all buffer-sizing entry points of
+the library check consistency first (Sec. 3 of the paper restricts
+attention to consistent graphs for the same reason).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InconsistentGraphError
+from repro.analysis.repetitions import repetition_vector
+from repro.graph.graph import SDFGraph
+
+
+def is_consistent(graph: SDFGraph) -> bool:
+    """Whether the balance equations have a non-trivial solution."""
+    try:
+        repetition_vector(graph)
+    except InconsistentGraphError:
+        return False
+    return True
+
+
+def assert_consistent(graph: SDFGraph) -> dict[str, int]:
+    """Return the repetition vector, raising if the graph is inconsistent.
+
+    This is the standard entry-point guard used by analyses that are
+    only defined for consistent graphs.
+    """
+    return repetition_vector(graph)

@@ -1,0 +1,61 @@
+"""Unbounded-storage deadlock-freedom.
+
+A consistent graph deadlocks *regardless of buffer sizes* when some
+directed cycle does not carry enough initial tokens.  The classical
+test (Lee & Messerschmitt, 1987) executes one abstract, untimed
+iteration with unbounded channel capacities: if every actor ``a``
+completes its ``q[a]`` firings, the token configuration returns to the
+initial one and the execution can repeat forever; if execution gets
+stuck earlier, the graph deadlocks under every storage distribution.
+
+Bounded-storage deadlock (a *full* channel blocking progress) is a
+different phenomenon, detected during timed execution by
+:mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.repetitions import repetition_vector
+from repro.graph.graph import SDFGraph
+
+
+def is_deadlock_free(graph: SDFGraph) -> bool:
+    """Whether *graph* can complete one iteration with unbounded buffers.
+
+    Raises :class:`~repro.exceptions.InconsistentGraphError` for
+    inconsistent graphs (deadlock-freedom within bounded memory is
+    undefined for them).
+    """
+    return remaining_firings_at_deadlock(graph) == {}
+
+
+def remaining_firings_at_deadlock(graph: SDFGraph) -> dict[str, int]:
+    """Firings still owed per actor when abstract execution stalls.
+
+    Empty when the graph is deadlock-free.  Useful diagnostics: the
+    actors listed participate in (or depend on) an under-tokened cycle.
+    """
+    q = repetition_vector(graph)
+    remaining = dict(q)
+    tokens = {ch.name: ch.initial_tokens for ch in graph.channels.values()}
+
+    progress = True
+    while progress:
+        progress = False
+        for actor in graph.actor_names:
+            while remaining[actor] > 0 and _enabled(graph, actor, tokens):
+                _fire(graph, actor, tokens)
+                remaining[actor] -= 1
+                progress = True
+    return {actor: count for actor, count in remaining.items() if count > 0}
+
+
+def _enabled(graph: SDFGraph, actor: str, tokens: dict[str, int]) -> bool:
+    return all(tokens[ch.name] >= ch.consumption for ch in graph.incoming(actor))
+
+
+def _fire(graph: SDFGraph, actor: str, tokens: dict[str, int]) -> None:
+    for ch in graph.incoming(actor):
+        tokens[ch.name] -= ch.consumption
+    for ch in graph.outgoing(actor):
+        tokens[ch.name] += ch.production

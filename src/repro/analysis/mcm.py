@@ -1,0 +1,219 @@
+"""Exact maximum cycle ratio of an HSDF graph.
+
+For a homogeneous SDF graph the self-timed steady-state period equals
+the *maximum cycle ratio* (MCR)
+
+    MCR = max over directed cycles  (sum of execution times on the
+          cycle) / (sum of edge delays on the cycle),
+
+and the maximal throughput of a node is ``1 / MCR(restricted to cycles
+that can reach the node)`` — the classical result used by the paper
+([GG93]) as the upper bound of its throughput binary search.
+
+The implementation is an exact Lawler-style parametric search with
+rational arithmetic: the predicate "does a cycle with
+``sum(w - lam * delay) > 0`` exist" is decided by Bellman-Ford positive
+cycle detection; binary search over ``lam`` narrows the ratio to an
+interval containing a unique fraction with bounded denominator, which
+is then recovered exactly and verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.analysis.hsdf import HSDFGraph
+from repro.exceptions import AnalysisError
+
+Node = tuple[str, int]
+
+#: Result of the parametric feasibility test.
+_ABOVE, _EQUAL, _BELOW = 1, 0, -1
+
+
+@dataclass(frozen=True)
+class CycleRatioResult:
+    """Outcome of :func:`maximum_cycle_ratio`.
+
+    ``ratio`` is the maximum cycle ratio; ``critical_scc`` lists the
+    nodes of one strongly connected component attaining it.
+    """
+
+    ratio: Fraction
+    critical_scc: frozenset[Node]
+
+
+def maximum_cycle_ratio(hsdf: HSDFGraph, reaching: Node | None = None) -> CycleRatioResult:
+    """The maximum cycle ratio of *hsdf*.
+
+    Parameters
+    ----------
+    reaching:
+        When given, only cycles from which *reaching* is reachable are
+        considered — those are exactly the cycles that throttle the
+        self-timed firing rate of that node.
+
+    Raises
+    ------
+    AnalysisError
+        If the graph contains a cycle with zero total delay (the graph
+        deadlocks: a firing transitively depends on itself within one
+        iteration), or if no cycle constrains the requested node.
+    """
+    digraph = _to_digraph(hsdf)
+    if reaching is not None and reaching not in digraph:
+        raise AnalysisError(f"node {reaching!r} is not in the HSDF graph")
+
+    best: Fraction | None = None
+    best_scc: frozenset[Node] = frozenset()
+    for scc in nx.strongly_connected_components(digraph):
+        subgraph = digraph.subgraph(scc)
+        if subgraph.number_of_edges() == 0:
+            continue
+        if reaching is not None and not _scc_reaches(digraph, scc, reaching):
+            continue
+        ratio = _scc_cycle_ratio(subgraph)
+        if best is None or ratio > best:
+            best = ratio
+            best_scc = frozenset(scc)
+
+    if best is None:
+        raise AnalysisError(
+            "no cycle constrains the computation"
+            + (f" of node {reaching!r}" if reaching is not None else "")
+        )
+    return CycleRatioResult(best, best_scc)
+
+
+def max_throughput_from_mcr(hsdf: HSDFGraph, node: Node) -> Fraction:
+    """Maximal self-timed firings/time-step of *node* (= 1 / MCR)."""
+    result = maximum_cycle_ratio(hsdf, reaching=node)
+    if result.ratio == 0:
+        raise AnalysisError(
+            "maximum cycle ratio is zero (all-zero execution times on every"
+            " constraining cycle); the throughput is unbounded"
+        )
+    return 1 / result.ratio
+
+
+def _to_digraph(hsdf: HSDFGraph) -> "nx.DiGraph":
+    digraph = nx.DiGraph()
+    for node in hsdf.nodes:
+        digraph.add_node(node)
+    for (src, dst), delay in hsdf.edges.items():
+        # Edge weight: execution time of the *producing* node, so a
+        # cycle's weight sum is the sum of execution times along it.
+        digraph.add_edge(src, dst, weight=hsdf.nodes[src], delay=delay)
+    return digraph
+
+
+def _scc_reaches(digraph: "nx.DiGraph", scc: set[Node], target: Node) -> bool:
+    if target in scc:
+        return True
+    seen: set[Node] = set(scc)
+    stack: list[Node] = list(scc)
+    while stack:
+        for successor in digraph.successors(stack.pop()):
+            if successor == target:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return False
+
+
+def _scc_cycle_ratio(subgraph: "nx.DiGraph") -> Fraction:
+    """Exact MCR of one strongly connected component."""
+    edges = [
+        (src, dst, data["weight"], data["delay"])
+        for src, dst, data in subgraph.edges(data=True)
+    ]
+    if _has_zero_delay_cycle(subgraph):
+        raise AnalysisError(
+            "HSDF graph has a delay-free dependency cycle; the graph deadlocks"
+        )
+
+    total_weight = sum(weight for _src, _dst, weight, _delay in edges)
+    total_delay = sum(delay for _src, _dst, _weight, delay in edges)
+    max_denominator = max(total_delay, 1)
+
+    low = Fraction(0)
+    high = Fraction(total_weight)
+    if _positive_cycle_test(subgraph, edges, high) is _EQUAL:
+        return high
+    verdict_low = _positive_cycle_test(subgraph, edges, low)
+    if verdict_low is _EQUAL:
+        return low
+    if verdict_low is _BELOW:
+        raise AnalysisError("internal error: cycle ratio below zero")
+
+    # Invariant: MCR in (low, high).
+    resolution = Fraction(1, 2 * max_denominator * max_denominator)
+    for _ in range(512):
+        if high - low < resolution:
+            candidate = ((low + high) / 2).limit_denominator(max_denominator)
+        else:
+            candidate = (low + high) / 2
+        verdict = _positive_cycle_test(subgraph, edges, candidate)
+        if verdict is _EQUAL:
+            return candidate
+        if verdict is _ABOVE:
+            low = candidate
+        else:
+            high = candidate
+    raise AnalysisError("maximum cycle ratio search failed to converge")
+
+
+def _has_zero_delay_cycle(subgraph: "nx.DiGraph") -> bool:
+    zero = nx.DiGraph()
+    zero.add_nodes_from(subgraph.nodes)
+    zero.add_edges_from(
+        (src, dst) for src, dst, data in subgraph.edges(data=True) if data["delay"] == 0
+    )
+    return not nx.is_directed_acyclic_graph(zero)
+
+
+def _positive_cycle_test(
+    subgraph: "nx.DiGraph",
+    edges: list[tuple[Node, Node, int, int]],
+    lam: Fraction,
+) -> int:
+    """Compare the MCR with *lam*.
+
+    Uses Bellman-Ford longest-path relaxation on edge costs
+    ``weight - lam * delay``: a relaxable edge after ``V`` rounds means
+    a positive-cost cycle (MCR > lam); otherwise a zero-cost cycle is
+    detected by checking for a cycle among tight edges (MCR == lam);
+    otherwise MCR < lam.
+    """
+    distance: dict[Node, Fraction] = {node: Fraction(0) for node in subgraph.nodes}
+    num_nodes = subgraph.number_of_nodes()
+    costs = [(src, dst, Fraction(weight) - lam * delay) for src, dst, weight, delay in edges]
+
+    for _ in range(num_nodes):
+        changed = False
+        for src, dst, cost in costs:
+            candidate = distance[src] + cost
+            if candidate > distance[dst]:
+                distance[dst] = candidate
+                changed = True
+        if not changed:
+            break
+    else:
+        # Still relaxing after V rounds: positive cycle.
+        for src, dst, cost in costs:
+            if distance[src] + cost > distance[dst]:
+                return _ABOVE
+
+    # No positive cycle; look for a zero-cost ("tight") cycle.
+    tight = nx.DiGraph()
+    tight.add_nodes_from(subgraph.nodes)
+    tight.add_edges_from(
+        (src, dst) for src, dst, cost in costs if distance[src] + cost == distance[dst]
+    )
+    if not nx.is_directed_acyclic_graph(tight):
+        return _EQUAL
+    return _BELOW

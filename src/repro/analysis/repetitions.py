@@ -1,0 +1,107 @@
+"""Repetition vectors via the SDF balance equations.
+
+For every channel ``src -p-> c- dst`` the balance equation
+``q[src] * p == q[dst] * c`` must hold for the token count to return to
+its starting value after ``q[a]`` firings of every actor ``a``.  A
+non-trivial solution exists iff the graph is *consistent*; the smallest
+positive integer solution is the repetition vector (Lee &
+Messerschmitt, 1987).
+
+The computation propagates exact rational firing ratios over each
+weakly connected component and then scales to the smallest integer
+vector, so it is exact for arbitrary rates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+from math import gcd, lcm
+
+from repro.exceptions import InconsistentGraphError
+from repro.graph.graph import SDFGraph
+
+
+def repetition_vector(graph: SDFGraph) -> dict[str, int]:
+    """The repetition vector of *graph* as ``{actor: count}``.
+
+    Each weakly connected component is normalised independently to its
+    smallest positive integer solution.  Raises
+    :class:`InconsistentGraphError` when the balance equations only
+    admit the trivial all-zero solution (rate mismatch on some
+    undirected cycle).
+    """
+    ratios: dict[str, Fraction] = {}
+    adjacency = _undirected_adjacency(graph)
+
+    for start in graph.actor_names:
+        if start in ratios:
+            continue
+        component = _propagate_component(graph, adjacency, start, ratios)
+        _normalise_component(component, ratios)
+
+    return {name: int(ratios[name]) for name in graph.actor_names}
+
+
+def iteration_token_delta(graph: SDFGraph) -> dict[str, int]:
+    """Net token change per channel over one full iteration.
+
+    Zero everywhere for consistent graphs; exposed primarily to state
+    the property in tests.
+    """
+    q = repetition_vector(graph)
+    return {
+        ch.name: q[ch.source] * ch.production - q[ch.destination] * ch.consumption
+        for ch in graph.channels.values()
+    }
+
+
+def _undirected_adjacency(graph: SDFGraph) -> dict[str, list[tuple[str, Fraction]]]:
+    """For each actor, the neighbours with the firing-ratio multiplier.
+
+    Traversing channel ``src -p-> c- dst`` from ``src`` to ``dst``
+    multiplies the firing ratio by ``p / c`` (``q[dst] = q[src] * p/c``);
+    the reverse direction uses the inverse.
+    """
+    adjacency: dict[str, list[tuple[str, Fraction]]] = {name: [] for name in graph.actor_names}
+    for channel in graph.channels.values():
+        forward = Fraction(channel.production, channel.consumption)
+        adjacency[channel.source].append((channel.destination, forward))
+        adjacency[channel.destination].append((channel.source, 1 / forward))
+    return adjacency
+
+
+def _propagate_component(
+    graph: SDFGraph,
+    adjacency: dict[str, list[tuple[str, Fraction]]],
+    start: str,
+    ratios: dict[str, Fraction],
+) -> list[str]:
+    """BFS rate propagation; returns the component's actor names."""
+    ratios[start] = Fraction(1)
+    component = [start]
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        for neighbour, multiplier in adjacency[current]:
+            expected = ratios[current] * multiplier
+            known = ratios.get(neighbour)
+            if known is None:
+                ratios[neighbour] = expected
+                component.append(neighbour)
+                queue.append(neighbour)
+            elif known != expected:
+                raise InconsistentGraphError(
+                    f"graph {graph.name!r} is inconsistent: actor {neighbour!r} would need firing"
+                    f" ratios {known} and {expected} simultaneously"
+                )
+    return component
+
+
+def _normalise_component(component: list[str], ratios: dict[str, Fraction]) -> None:
+    """Scale a component's rational ratios to the minimal integer vector."""
+    denominator_lcm = lcm(*(ratios[name].denominator for name in component))
+    scaled = [ratios[name] * denominator_lcm for name in component]
+    numerator_gcd = gcd(*(int(value) for value in scaled))
+    for name, value in zip(component, scaled):
+        ratios[name] = Fraction(int(value) // numerator_gcd)

@@ -1,0 +1,22 @@
+"""Baseline buffer-sizing methods from the related work (Sec. 1).
+
+The paper positions its exact method against two families of earlier
+approaches, both implemented here for comparison benchmarks:
+
+* :mod:`repro.baselines.deadlockfree` — smallest buffers admitting any
+  deadlock-free execution, ignoring throughput ([GBS05] and the
+  single-processor line of work [ALP97, BML96, BML99, MB00, OH02]);
+* :mod:`repro.baselines.greedy` — a heuristic in the spirit of
+  [HLH91] / [GGD02]: start from buffers large enough for maximal
+  throughput and greedily shrink, yielding an upper bound on the
+  minimal size for a throughput constraint rather than the exact
+  value.
+"""
+
+from repro.baselines.deadlockfree import minimal_deadlock_free_distribution
+from repro.baselines.greedy import greedy_minimize
+
+__all__ = [
+    "greedy_minimize",
+    "minimal_deadlock_free_distribution",
+]

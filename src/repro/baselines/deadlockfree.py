@@ -1,0 +1,42 @@
+"""Minimal deadlock-free storage distribution ([GBS05] baseline).
+
+The predecessor of the paper computes the exact minimal buffer sizes
+for *a* deadlock-free execution, without any throughput constraint.
+In the timed model that is simply the smallest distribution with
+positive throughput — the leftmost point of the Pareto space.  The
+paper's motivation is that this distribution may realise a throughput
+far below what the application requires; the comparison benchmarks
+quantify exactly that gap.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.consistency import assert_consistent
+from repro.buffers.dependencies import dependency_sweep
+from repro.buffers.distribution import StorageDistribution
+from repro.graph.graph import SDFGraph
+
+
+def minimal_deadlock_free_distribution(
+    graph: SDFGraph, observe: str | None = None
+) -> tuple[StorageDistribution, Fraction] | None:
+    """Smallest distribution with a deadlock-free (positive-throughput)
+    execution, together with the throughput it realises.
+
+    Returns ``None`` for graphs that deadlock under every finite
+    storage distribution (under-tokened cycles).
+    """
+    assert_consistent(graph)
+    # Graphs that deadlock even with unbounded storage have no positive
+    # stop level; without this check the sweep would grow forever.
+    from repro.analysis.deadlock import is_deadlock_free
+
+    if not is_deadlock_free(graph):
+        return None
+    sweep = dependency_sweep(graph, observe, stop_positive=True, stop_at_first=True)
+    witness = sweep.first_reaching_target
+    if witness is None:
+        return None
+    return witness, sweep.evaluations[witness]

@@ -1,0 +1,205 @@
+"""Storage-dependency-guided exploration.
+
+This is the refinement the SDF3 implementation of the paper uses to
+avoid enumerating every distribution of every size: starting from the
+per-channel lower bounds, only channels whose *fullness actually
+blocked an otherwise-enabled actor* during the execution are worth
+enlarging — increasing any other channel leaves the (deterministic)
+execution unchanged.  Moreover a blocked channel needs to grow by at
+least its smallest observed capacity shortfall before any firing
+decision can change.
+
+Both facts make the following search exact:
+
+* maintain a frontier of storage distributions ordered by size,
+  seeded with the lower-bound distribution;
+* evaluate each popped distribution with blocking tracking;
+* for every space-blocking channel, enqueue the distribution enlarged
+  by the channel's minimal deficit;
+* stop expanding distributions that already reach the target
+  throughput.
+
+Exactness argument (the induction used in the tests): let ``gamma*``
+be any distribution with higher throughput than an explored
+``gamma <= gamma*`` (pointwise).  The two executions diverge at some
+first instant, where an actor starts under ``gamma*`` but is blocked
+under ``gamma`` purely by space on channels whose capacities differ.
+For such a channel the observed deficit at that instant is at most
+``gamma*[c] - gamma[c]``, so the enqueued increment stays pointwise
+below ``gamma*`` — by induction some explored distribution dominates
+no more than ``gamma*`` and reaches its throughput.  Hence every
+Pareto point has a witness in the explored set.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+
+from collections.abc import Mapping
+
+from repro.buffers.bounds import lower_bound_distribution
+from repro.buffers.distribution import StorageDistribution
+from repro.engine.executor import Executor
+from repro.graph.graph import SDFGraph
+
+
+@dataclass
+class DependencyStats:
+    """Bookkeeping of one dependency-guided sweep."""
+
+    evaluations: int = 0
+    max_states_stored: int = 0
+    expansions: int = 0
+    duplicates_skipped: int = 0
+
+
+@dataclass(frozen=True)
+class DependencySweepResult:
+    """All distributions evaluated by the sweep, with throughputs."""
+
+    evaluations: dict[StorageDistribution, Fraction]
+    stats: DependencyStats
+    first_reaching_target: StorageDistribution | None = None
+
+
+def dependency_sweep(
+    graph: SDFGraph,
+    observe: str | None = None,
+    *,
+    stop_throughput: Fraction | None = None,
+    stop_positive: bool = False,
+    max_size: int | None = None,
+    start: StorageDistribution | None = None,
+    stop_at_first: bool = False,
+    token_sizes: Mapping[str, int] | None = None,
+) -> DependencySweepResult:
+    """Explore the useful sub-lattice of storage distributions.
+
+    Parameters
+    ----------
+    stop_throughput:
+        Distributions reaching this throughput are recorded but not
+        expanded (use the graph's maximal throughput for a full Pareto
+        sweep, or a constraint for a minimal-distribution query).
+        ``None`` means "expand until nothing blocks on space anymore".
+    max_size:
+        Optional hard cap on distribution sizes to consider.
+    start:
+        Alternative seed; defaults to the lower-bound distribution.
+    stop_at_first:
+        Return as soon as the first distribution reaching
+        *stop_throughput* is popped (minimal-size witness queries).
+
+    A sweep without *stop_throughput* diverges on most graphs (a
+    source actor that is merely *ahead* keeps hitting full channels at
+    any capacity), so one of *stop_throughput* / *max_size* is
+    required.
+    """
+    if stop_throughput is None and max_size is None and not stop_positive:
+        from repro.exceptions import ExplorationError
+
+        raise ExplorationError(
+            "dependency_sweep needs a stop_throughput (usually the graph's maximal"
+            " throughput) or a max_size; otherwise capacity growth never terminates"
+        )
+    seed = start if start is not None else lower_bound_distribution(graph)
+    stats = DependencyStats()
+    evaluations: dict[StorageDistribution, Fraction] = {}
+    first_reaching: StorageDistribution | None = None
+
+    order = graph.channel_names
+    heap: list[tuple[int, tuple[int, ...], StorageDistribution]] = []
+    queued: set[StorageDistribution] = set()
+
+    def cost(distribution: StorageDistribution) -> int:
+        return distribution.weighted_size(token_sizes)
+
+    def push(distribution: StorageDistribution) -> None:
+        if distribution in queued or distribution in evaluations:
+            stats.duplicates_skipped += 1
+            return
+        if max_size is not None and cost(distribution) > max_size:
+            return
+        queued.add(distribution)
+        heapq.heappush(
+            heap, (cost(distribution), tuple(distribution[name] for name in order), distribution)
+        )
+
+    # Once some size S0 reaches the stop throughput, every Pareto
+    # point has size <= S0 (the front cannot rise above the target),
+    # so the exponential lattice beyond S0 need not be explored.
+    ceiling: int | None = None
+
+    push(seed)
+    while heap:
+        size, _vector, distribution = heapq.heappop(heap)
+        if ceiling is not None and size > ceiling:
+            break
+        queued.discard(distribution)
+        result = Executor(graph, distribution, observe, track_blocking=True).run()
+        stats.evaluations += 1
+        stats.max_states_stored = max(stats.max_states_stored, result.states_stored)
+        evaluations[distribution] = result.throughput
+
+        reached = (
+            result.throughput > 0
+            if stop_positive
+            else stop_throughput is not None and result.throughput >= stop_throughput
+        )
+        if reached:
+            if first_reaching is None:
+                first_reaching = distribution
+                if stop_at_first:
+                    break
+            if ceiling is None or size < ceiling:
+                ceiling = size
+            continue
+        for channel in result.space_blocked:
+            step = result.space_deficits.get(channel, 1)
+            stats.expansions += 1
+            successor = distribution.incremented(channel, step)
+            if ceiling is not None and cost(successor) > ceiling:
+                continue
+            push(successor)
+
+    return DependencySweepResult(evaluations, stats, first_reaching)
+
+
+def find_minimal_distribution(
+    graph: SDFGraph,
+    constraint: Fraction,
+    observe: str | None = None,
+    *,
+    max_size: int | None = None,
+    token_sizes: Mapping[str, int] | None = None,
+) -> tuple[StorageDistribution, Fraction] | None:
+    """Smallest distribution whose throughput meets *constraint*.
+
+    Because the sweep pops distributions in size order and any minimal
+    witness is reachable through strictly smaller, not-yet-satisfying
+    distributions, the first popped distribution meeting the
+    constraint has globally minimal size.  Returns ``None`` when the
+    constraint is unachievable (above the graph's maximal throughput,
+    or above *max_size*).
+    """
+    # An unachievable constraint must be rejected up front: without a
+    # reachable stop level the sweep's size ceiling never engages and
+    # capacity growth would not terminate.
+    from repro.analysis.throughput import max_throughput
+
+    if constraint > max_throughput(graph, observe):
+        return None
+    result = dependency_sweep(
+        graph,
+        observe,
+        stop_throughput=constraint,
+        max_size=max_size,
+        stop_at_first=True,
+        token_sizes=token_sizes,
+    )
+    witness = result.first_reaching_target
+    if witness is None:
+        return None
+    return witness, result.evaluations[witness]

@@ -1,0 +1,118 @@
+"""Storage distributions (Definitions 1 and 2 of the paper).
+
+A storage distribution assigns every channel of an SDF graph a
+capacity in tokens; its *size* is the sum of the capacities.  The
+class is an immutable mapping so distributions can serve as dictionary
+keys during exploration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.exceptions import CapacityError
+from repro.graph.graph import SDFGraph
+
+
+class StorageDistribution(Mapping[str, int]):
+    """An immutable ``{channel name: capacity}`` mapping."""
+
+    __slots__ = ("_capacities", "_hash")
+
+    def __init__(self, capacities: Mapping[str, int]):
+        items = {}
+        for name, capacity in capacities.items():
+            if not isinstance(capacity, int) or isinstance(capacity, bool):
+                raise CapacityError(f"channel {name!r}: capacity must be an int")
+            if capacity < 0:
+                raise CapacityError(f"channel {name!r}: capacity must be >= 0, got {capacity}")
+            items[name] = capacity
+        self._capacities: dict[str, int] = items
+        self._hash: int | None = None
+
+    @classmethod
+    def uniform(cls, graph: SDFGraph, capacity: int) -> "StorageDistribution":
+        """The distribution giving every channel of *graph* *capacity*."""
+        return cls({name: capacity for name in graph.channel_names})
+
+    # -- Mapping interface ---------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        return self._capacities[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._capacities)
+
+    def __len__(self) -> int:
+        return len(self._capacities)
+
+    # -- Value semantics -----------------------------------------------
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._capacities.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StorageDistribution):
+            return self._capacities == other._capacities
+        if isinstance(other, Mapping):
+            return self._capacities == dict(other)
+        return NotImplemented
+
+    # -- Paper definitions ----------------------------------------------
+    @property
+    def size(self) -> int:
+        """Definition 2: the distribution size ``sz`` (total tokens)."""
+        return sum(self._capacities.values())
+
+    def weighted_size(self, token_sizes: Mapping[str, int] | None) -> int:
+        """Distribution size with per-channel token weights.
+
+        Real channels carry tokens of different widths (a frame vs a
+        coefficient); with *token_sizes* mapping channels to a weight
+        (default 1), the memory cost is ``sum(capacity * weight)``.
+        """
+        if token_sizes is None:
+            return self.size
+        return sum(
+            capacity * token_sizes.get(name, 1) for name, capacity in self._capacities.items()
+        )
+
+    def dominates(self, other: "StorageDistribution") -> bool:
+        """Pointwise ``>=`` on a common channel set."""
+        if set(self) != set(other):
+            raise CapacityError("distributions cover different channel sets")
+        return all(self[name] >= other[name] for name in self)
+
+    # -- Exploration helpers ---------------------------------------------
+    def with_capacity(self, name: str, capacity: int) -> "StorageDistribution":
+        """A copy with channel *name* set to *capacity*."""
+        if name not in self._capacities:
+            raise CapacityError(f"unknown channel {name!r}")
+        updated = dict(self._capacities)
+        updated[name] = capacity
+        return StorageDistribution(updated)
+
+    def incremented(self, name: str, step: int = 1) -> "StorageDistribution":
+        """A copy with channel *name* increased by *step* tokens."""
+        return self.with_capacity(name, self[name] + step)
+
+    def scaled(self, factor: int) -> "StorageDistribution":
+        """A copy with every capacity multiplied by *factor*."""
+        return StorageDistribution({name: capacity * factor for name, capacity in self.items()})
+
+    def merged_max(self, other: "StorageDistribution") -> "StorageDistribution":
+        """Pointwise maximum of two distributions."""
+        if set(self) != set(other):
+            raise CapacityError("distributions cover different channel sets")
+        return StorageDistribution({name: max(self[name], other[name]) for name in self})
+
+    def vector(self, graph: SDFGraph) -> tuple[int, ...]:
+        """Capacities ordered by *graph*'s channel order."""
+        return tuple(self[name] for name in graph.channel_names)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}: {capacity}" for name, capacity in self._capacities.items())
+        return "(" + inner + ")"
+
+    def __repr__(self) -> str:
+        return f"StorageDistribution({self._capacities!r})"

@@ -1,0 +1,83 @@
+"""Enumeration of storage distributions of a given size.
+
+The paper's throughput-dimension search must scan "all possible
+storage distributions of the given size" (Sec. 9) within the
+per-channel bound box of Fig. 7.  This module generates exactly those:
+integer vectors ``gamma`` with ``lower[c] <= gamma[c] <= upper[c]``
+summing to the requested size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.buffers.distribution import StorageDistribution
+from repro.exceptions import ExplorationError
+
+
+def distributions_of_size(
+    channels: Sequence[str],
+    size: int,
+    lower: Mapping[str, int],
+    upper: Mapping[str, int],
+) -> Iterator[StorageDistribution]:
+    """Yield every distribution of total *size* inside the bound box.
+
+    The iteration order assigns surplus tokens to the earlier channels
+    first, which tends to enlarge the channels closest to the graph's
+    sources early — a helpful heuristic when a threshold scan may stop
+    at the first distribution meeting a throughput target.
+    """
+    lowers = [lower[name] for name in channels]
+    uppers = [upper[name] for name in channels]
+    for name, low, high in zip(channels, lowers, uppers):
+        if low > high:
+            raise ExplorationError(f"channel {name!r}: lower bound {low} exceeds upper bound {high}")
+
+    def rec(index: int, remaining: int) -> Iterator[list[int]]:
+        if index == len(channels) - 1:
+            if lowers[index] <= remaining <= uppers[index]:
+                yield [remaining]
+            return
+        tail_low = sum(lowers[index + 1 :])
+        tail_high = sum(uppers[index + 1 :])
+        start = max(lowers[index], remaining - tail_high)
+        stop = min(uppers[index], remaining - tail_low)
+        for value in range(stop, start - 1, -1):
+            for rest in rec(index + 1, remaining - value):
+                yield [value] + rest
+
+    if not channels:
+        if size == 0:
+            yield StorageDistribution({})
+        return
+    for vector in rec(0, size):
+        yield StorageDistribution(dict(zip(channels, vector)))
+
+
+def count_distributions_of_size(
+    channels: Sequence[str],
+    size: int,
+    lower: Mapping[str, int],
+    upper: Mapping[str, int],
+) -> int:
+    """Number of distributions :func:`distributions_of_size` would yield.
+
+    Computed with a dynamic program over channels, so it is cheap even
+    when the enumeration itself would be astronomically large — used to
+    report the search-space size of the paper's complexity discussion.
+    """
+    counts = {0: 1}
+    for name in channels:
+        low, high = lower[name], upper[name]
+        if low > high:
+            raise ExplorationError(f"channel {name!r}: lower bound {low} exceeds upper bound {high}")
+        updated: dict[int, int] = {}
+        for total, ways in counts.items():
+            for value in range(low, high + 1):
+                if total + value > size:
+                    break
+                key = total + value
+                updated[key] = updated.get(key, 0) + ways
+        counts = updated
+    return counts.get(size, 0)

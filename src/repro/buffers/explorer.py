@@ -1,0 +1,316 @@
+"""Public design-space exploration API (Secs. 8-9 of the paper).
+
+:func:`explore_design_space` charts the complete Pareto space of
+storage size vs. throughput for a consistent SDF graph, using one of
+three strategies:
+
+* ``"dependency"`` (default) — storage-dependency-guided sweep; exact
+  and usually the cheapest by far;
+* ``"divide"`` — the paper's divide-and-conquer over the size axis
+  (optionally with quantised binary search in the throughput axis);
+* ``"exhaustive"`` — plain scan of every size in the bound interval.
+
+All strategies return the same Pareto front (a property-tested
+invariant); they differ only in how much of the design space they must
+evaluate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from collections.abc import Mapping
+
+from repro.analysis.consistency import assert_consistent
+from repro.buffers.bounds import lower_bound_distribution, upper_bound_distribution
+from repro.buffers.dependencies import dependency_sweep, find_minimal_distribution
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.enumerate import count_distributions_of_size
+from repro.buffers.pareto import ParetoFront, ParetoPoint
+from repro.buffers.quantize import thin_front
+from repro.buffers.search import SizeProbe, ThroughputEvaluator, divide_and_conquer, exhaustive_sweep
+from repro.engine.executor import Executor
+from repro.exceptions import ExplorationError
+from repro.graph.graph import SDFGraph
+
+_STRATEGIES = ("dependency", "divide", "exhaustive")
+
+
+@dataclass(frozen=True)
+class ExplorationStats:
+    """Cost metrics of one design-space exploration."""
+
+    strategy: str
+    evaluations: int
+    max_states_stored: int
+    wall_time_s: float
+    sizes_probed: int = 0
+    search_space: int | None = None
+
+
+@dataclass(frozen=True)
+class DesignSpaceResult:
+    """Outcome of :func:`explore_design_space`.
+
+    ``front`` holds the Pareto points (minimal storage
+    distributions); ``lower_bounds`` / ``upper_bounds`` the Fig. 7 box
+    that delimited the search; ``max_throughput`` the maximal
+    achievable throughput of the graph.
+    """
+
+    graph_name: str
+    observe: str
+    front: ParetoFront
+    stats: ExplorationStats
+    lower_bounds: StorageDistribution
+    upper_bounds: StorageDistribution
+    max_throughput: Fraction
+
+    def summary(self) -> str:
+        """Short human-readable report."""
+        lines = [
+            f"design space of {self.graph_name!r} (observing {self.observe!r})",
+            f"  size bounds: [{self.lower_bounds.size}, {self.upper_bounds.size}]",
+            f"  maximal throughput: {self.max_throughput}",
+            f"  Pareto points: {len(self.front)}",
+        ]
+        for point in self.front:
+            lines.append(f"    {point}")
+        lines.append(
+            f"  cost: {self.stats.evaluations} evaluations,"
+            f" max {self.stats.max_states_stored} states,"
+            f" {self.stats.wall_time_s:.3f}s ({self.stats.strategy})"
+        )
+        return "\n".join(lines)
+
+
+def explore_design_space(
+    graph: SDFGraph,
+    observe: str | None = None,
+    *,
+    strategy: str = "dependency",
+    quantum: Fraction | None = None,
+    max_size: int | None = None,
+    throughput_bounds: tuple[Fraction | None, Fraction | None] | None = None,
+    token_sizes: Mapping[str, int] | None = None,
+    count_search_space: bool = False,
+    collect_all_witnesses: bool = False,
+) -> DesignSpaceResult:
+    """Chart the full storage/throughput Pareto space of *graph*.
+
+    Parameters
+    ----------
+    observe:
+        Actor whose throughput defines the vertical axis; defaults to
+        the last actor.
+    strategy:
+        ``"dependency"``, ``"divide"`` or ``"exhaustive"``.
+    quantum:
+        Optional throughput quantisation (the paper's H.263 trick):
+        with the ``"divide"`` strategy the binary search probes only
+        grid multiples, and for every strategy the resulting front is
+        thinned to one point per reached grid level.
+    max_size:
+        Restrict the exploration to distributions of at most this
+        size (partial Pareto space, as supported by the paper's tool).
+    throughput_bounds:
+        Optional ``(low, high)`` throughput window (either end may be
+        ``None``), the second partial-space control of the paper's
+        tool.  Points below ``low`` are dropped; the search stops once
+        ``high`` is reached, and the front keeps the cheapest point at
+        or above it.
+    token_sizes:
+        Optional per-channel token weights: the size axis becomes the
+        weighted memory cost ``sum(capacity * weight)`` (weights
+        default to 1, so tokens of different widths are accounted
+        correctly).  Supported by the ``"dependency"`` strategy only;
+        ``max_size`` is then a weighted cap.
+    count_search_space:
+        Also compute how many distributions lie in the bound box (the
+        paper's complexity discussion); needs only a cheap dynamic
+        program but is off by default.
+    collect_all_witnesses:
+        Only meaningful with the ``"exhaustive"`` strategy: scan every
+        size to completion so that Pareto points list *every* tied
+        minimal distribution (the paper's Fig. 6 non-uniqueness); by
+        default scans stop as soon as the maximal throughput is found.
+    """
+    assert_consistent(graph)
+    if strategy not in _STRATEGIES:
+        raise ExplorationError(f"unknown strategy {strategy!r}; pick one of {_STRATEGIES}")
+    if token_sizes is not None and strategy != "dependency":
+        raise ExplorationError("token_sizes are supported by the 'dependency' strategy only")
+    if token_sizes is not None and any(weight < 1 for weight in token_sizes.values()):
+        raise ExplorationError("token sizes must be positive")
+    if observe is None:
+        observe = graph.actor_names[-1]
+
+    lower = lower_bound_distribution(graph)
+    upper = upper_bound_distribution(graph)
+    started = time.perf_counter()
+
+    # Sec. 9 takes the throughput at the [GGD02] upper bound as the
+    # maximal achievable throughput of the graph.  That bound can fall
+    # short on some graphs (see buffers.bounds), so the maximum is
+    # computed independently and the bound box is enlarged until it
+    # provably contains a maximal-throughput distribution.
+    from repro.analysis.throughput import max_throughput as _max_throughput
+
+    max_thr = _max_throughput(graph, observe)
+    low_bound, high_bound = throughput_bounds if throughput_bounds is not None else (None, None)
+    if low_bound is not None and high_bound is not None and low_bound > high_bound:
+        raise ExplorationError("throughput_bounds: low exceeds high")
+    stop_thr = max_thr if high_bound is None else min(max_thr, high_bound)
+    top = Executor(graph, upper, observe).run()
+    while top.throughput < stop_thr:
+        upper = upper.scaled(2)
+        top = Executor(graph, upper, observe).run()
+
+    size_cap = max_size if max_size is not None else upper.weighted_size(token_sizes)
+
+    if strategy == "dependency":
+        sweep = dependency_sweep(
+            graph,
+            observe,
+            stop_throughput=stop_thr,
+            max_size=size_cap,
+            token_sizes=token_sizes,
+        )
+        front = ParetoFront.from_evaluations(sweep.evaluations, token_sizes)
+        evaluations = sweep.stats.evaluations + 1
+        max_states = max(sweep.stats.max_states_stored, top.states_stored)
+        sizes_probed = len({d.size for d in sweep.evaluations})
+    else:
+        evaluator = ThroughputEvaluator(graph, observe)
+        bounded_upper = _cap_box(lower, upper, size_cap)
+        if strategy == "exhaustive":
+            probes, stats = exhaustive_sweep(
+                graph,
+                observe,
+                lower,
+                bounded_upper,
+                stop_thr,
+                evaluator,
+                stop_early=not collect_all_witnesses,
+            )
+        else:
+            probes, stats = divide_and_conquer(
+                graph, observe, lower, bounded_upper, stop_thr, evaluator, quantum=quantum
+            )
+        front = _front_from_probes(probes)
+        evaluations = stats.evaluations + 1
+        max_states = max(stats.max_states_stored, top.states_stored)
+        sizes_probed = stats.sizes_probed
+
+    if max_size is not None:
+        front = _restrict_front(front, max_size)
+    if throughput_bounds is not None:
+        front = _window_front(front, low_bound, high_bound)
+    if quantum is not None:
+        front = thin_front(front, quantum)
+
+    search_space = None
+    if count_search_space:
+        search_space = sum(
+            count_distributions_of_size(graph.channel_names, size, lower, upper)
+            for size in range(lower.size, upper.size + 1)
+        )
+
+    stats = ExplorationStats(
+        strategy=strategy,
+        evaluations=evaluations,
+        max_states_stored=max_states,
+        wall_time_s=time.perf_counter() - started,
+        sizes_probed=sizes_probed,
+        search_space=search_space,
+    )
+    return DesignSpaceResult(
+        graph_name=graph.name,
+        observe=observe,
+        front=front,
+        stats=stats,
+        lower_bounds=lower,
+        upper_bounds=upper,
+        max_throughput=max_thr,
+    )
+
+
+def minimal_distribution_for_throughput(
+    graph: SDFGraph,
+    constraint: Fraction,
+    observe: str | None = None,
+    token_sizes: Mapping[str, int] | None = None,
+) -> ParetoPoint | None:
+    """Smallest storage distribution meeting a throughput constraint.
+
+    This is the headline query of the paper: the exact minimal storage
+    space needed to execute the graph at a required throughput.
+    Returns ``None`` when the constraint exceeds the graph's maximal
+    throughput.
+    """
+    assert_consistent(graph)
+    if constraint <= 0:
+        raise ExplorationError("the throughput constraint must be positive")
+    found = find_minimal_distribution(graph, constraint, observe, token_sizes=token_sizes)
+    if found is None:
+        return None
+    distribution, value = found
+    return ParetoPoint(distribution.weighted_size(token_sizes), value, (distribution,))
+
+
+def maximal_throughput_point(graph: SDFGraph, observe: str | None = None) -> ParetoPoint:
+    """The Pareto point realising the graph's maximal throughput."""
+    result = explore_design_space(graph, observe)
+    point = result.front.max_throughput_point
+    if point is None:
+        raise ExplorationError(
+            f"graph {graph.name!r} deadlocks under every storage distribution"
+        )
+    return point
+
+
+def _front_from_probes(probes: dict[int, SizeProbe]) -> ParetoFront:
+    evaluations: dict[StorageDistribution, Fraction] = {}
+    for size_probe in probes.values():
+        for witness in size_probe.witnesses:
+            evaluations[witness] = size_probe.throughput
+    return ParetoFront.from_evaluations(evaluations)
+
+
+def _cap_box(
+    lower: StorageDistribution, upper: StorageDistribution, size_cap: int
+) -> StorageDistribution:
+    """Clip per-channel upper bounds so no distribution exceeds *size_cap*."""
+    capped = {}
+    for name in upper:
+        headroom = size_cap - (lower.size - lower[name])
+        capped[name] = max(lower[name], min(upper[name], headroom))
+    return StorageDistribution(capped)
+
+
+def _restrict_front(front: ParetoFront, max_size: int) -> ParetoFront:
+    restricted = ParetoFront()
+    restricted._points = [point for point in front if point.size <= max_size]
+    return restricted
+
+
+def _window_front(
+    front: ParetoFront, low: Fraction | None, high: Fraction | None
+) -> ParetoFront:
+    """Clip the front to a throughput window.
+
+    Points below *low* are discarded; points from *high* upwards are
+    reduced to the single cheapest one (the search stopped there, so
+    no larger point exists anyway).
+    """
+    kept = []
+    for point in front:
+        if low is not None and point.throughput < low:
+            continue
+        kept.append(point)
+        if high is not None and point.throughput >= high:
+            break
+    clipped = ParetoFront()
+    clipped._points = kept
+    return clipped

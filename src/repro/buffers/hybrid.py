@@ -1,0 +1,97 @@
+"""Hybrid storage models: channels grouped into memory banks (Sec. 3).
+
+Between the paper's per-channel memories and the fully shared memory
+of [MB00] lie hybrid forms ([GBS05]): channels are partitioned over
+memory *banks* (one per processor tile, say), channels in a bank share
+space, banks do not.  For a given storage distribution and its
+deterministic schedule this module computes each bank's peak
+occupancy — stored tokens plus output space claimed by running
+firings — by replaying the recorded schedule.
+
+Degenerate partitions recover the two pure models: one bank per
+channel gives the per-channel capacities' peaks, a single bank gives
+the shared-memory requirement of :mod:`repro.buffers.shared`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from collections.abc import Mapping
+
+from repro.engine.executor import Executor
+from repro.exceptions import ExplorationError
+from repro.graph.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class BankReport:
+    """Peak occupancies per memory bank for one distribution."""
+
+    peaks: Mapping[str, int]
+    throughput: Fraction
+
+    @property
+    def total(self) -> int:
+        """Sum of the per-bank peaks (memory to provision overall)."""
+        return sum(self.peaks.values())
+
+
+def bank_peaks(
+    graph: SDFGraph,
+    capacities: Mapping[str, int],
+    banks: Mapping[str, str],
+    observe: str | None = None,
+) -> BankReport:
+    """Peak occupancy of every bank under *capacities*.
+
+    *banks* maps each channel name to a bank label; every channel of
+    the graph must be assigned.
+    """
+    missing = [name for name in graph.channel_names if name not in banks]
+    if missing:
+        raise ExplorationError(f"channels without a bank assignment: {missing}")
+    unknown = [name for name in banks if name not in graph.channels]
+    if unknown:
+        raise ExplorationError(f"bank assignment for unknown channels: {unknown}")
+
+    result = Executor(graph, capacities, observe, record_schedule=True).run()
+    assert result.schedule is not None
+    events = sorted(result.schedule.events, key=lambda event: event.start)
+
+    tokens = {name: channel.initial_tokens for name, channel in graph.channels.items()}
+    claims = {name: 0 for name in graph.channel_names}
+    peaks: dict[str, int] = {}
+
+    def measure() -> None:
+        totals: dict[str, int] = {}
+        for name in graph.channel_names:
+            bank = banks[name]
+            totals[bank] = totals.get(bank, 0) + tokens[name] + claims[name]
+        for bank, value in totals.items():
+            if value > peaks.get(bank, 0):
+                peaks[bank] = value
+
+    measure()
+    times = sorted({event.start for event in events} | {event.end for event in events})
+    for now in times:
+        for event in events:
+            if event.end == now and event.duration > 0:
+                for channel in graph.incoming(event.actor):
+                    tokens[channel.name] -= channel.consumption
+                for channel in graph.outgoing(event.actor):
+                    claims[channel.name] -= channel.production
+                    tokens[channel.name] += channel.production
+        for event in events:
+            if event.start == now:
+                if event.duration == 0:
+                    for channel in graph.incoming(event.actor):
+                        tokens[channel.name] -= channel.consumption
+                    for channel in graph.outgoing(event.actor):
+                        tokens[channel.name] += channel.production
+                else:
+                    for channel in graph.outgoing(event.actor):
+                        claims[channel.name] += channel.production
+        measure()
+
+    return BankReport(peaks=peaks, throughput=result.throughput)

@@ -1,0 +1,150 @@
+"""Pareto points of the storage/throughput trade-off (Sec. 8).
+
+A *minimal storage distribution* is one for which no smaller
+distribution achieves at least the same throughput; these are the
+Pareto points of the two-dimensional design space (distribution size
+vs. throughput).  :class:`ParetoFront` assembles and stores them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from collections.abc import Iterator, Mapping
+
+from repro.buffers.distribution import StorageDistribution
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One Pareto point: a size, its maximal throughput and witnesses.
+
+    ``witnesses`` lists the minimal storage distributions of this size
+    achieving the throughput; several may exist (the paper's Fig. 6
+    example), all are equally valid.
+    """
+
+    size: int
+    throughput: Fraction
+    witnesses: tuple[StorageDistribution, ...] = ()
+
+    @property
+    def distribution(self) -> StorageDistribution:
+        """A representative witness distribution."""
+        if not self.witnesses:
+            raise ValueError("Pareto point carries no witness distribution")
+        return self.witnesses[0]
+
+    def __str__(self) -> str:
+        witness = f" via {self.distribution}" if self.witnesses else ""
+        return f"size={self.size} throughput={self.throughput}{witness}"
+
+
+class ParetoFront:
+    """The set of Pareto points, ordered by increasing size.
+
+    The invariant maintained is strict monotonicity in both
+    dimensions: every stored point has strictly larger size *and*
+    strictly larger throughput than its predecessor.
+    """
+
+    def __init__(self) -> None:
+        self._points: list[ParetoPoint] = []
+
+    @classmethod
+    def from_evaluations(
+        cls,
+        evaluations: Mapping[StorageDistribution, Fraction],
+        token_sizes: Mapping[str, int] | None = None,
+    ) -> "ParetoFront":
+        """Build the front from a ``{distribution: throughput}`` map.
+
+        Distributions with zero throughput are ignored (they are not
+        Pareto points of any positive constraint).  Witnesses of equal
+        (size, throughput) are grouped.  With *token_sizes*, sizes are
+        the weighted memory costs (see
+        :meth:`StorageDistribution.weighted_size`).
+        """
+        by_key: dict[tuple[int, Fraction], list[StorageDistribution]] = {}
+        for distribution, value in evaluations.items():
+            if value <= 0:
+                continue
+            by_key.setdefault((distribution.weighted_size(token_sizes), value), []).append(
+                distribution
+            )
+
+        front = cls()
+        best = Fraction(0)
+        for (size, value), witnesses in sorted(
+            by_key.items(), key=lambda item: (item[0][0], -item[0][1])
+        ):
+            if value > best:
+                front._points.append(
+                    ParetoPoint(size, value, tuple(sorted(witnesses, key=lambda w: tuple(sorted(w.items())))))
+                )
+                best = value
+        return front
+
+    @property
+    def points(self) -> list[ParetoPoint]:
+        """The Pareto points, smallest size first."""
+        return list(self._points)
+
+    def sizes(self) -> list[int]:
+        """Distribution sizes of the points."""
+        return [point.size for point in self._points]
+
+    def throughputs(self) -> list[Fraction]:
+        """Throughputs of the points."""
+        return [point.throughput for point in self._points]
+
+    @property
+    def min_positive(self) -> ParetoPoint | None:
+        """The smallest distribution with positive throughput."""
+        return self._points[0] if self._points else None
+
+    @property
+    def max_throughput_point(self) -> ParetoPoint | None:
+        """The point achieving the maximal throughput."""
+        return self._points[-1] if self._points else None
+
+    def smallest_for(self, throughput: Fraction) -> ParetoPoint | None:
+        """Smallest point with throughput at least *throughput*."""
+        for point in self._points:
+            if point.throughput >= throughput:
+                return point
+        return None
+
+    def throughput_at(self, size: int) -> Fraction:
+        """Maximal throughput achievable with at most *size* tokens."""
+        best = Fraction(0)
+        for point in self._points:
+            if point.size <= size:
+                best = point.throughput
+            else:
+                break
+        return best
+
+    def is_feasible(self, size: int, throughput: Fraction) -> bool:
+        """Whether (*size*, *throughput*) lies on or right of the curve."""
+        return self.throughput_at(size) >= throughput
+
+    def __iter__(self) -> Iterator[ParetoPoint]:
+        return iter(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __getitem__(self, index: int) -> ParetoPoint:
+        return self._points[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParetoFront):
+            return NotImplemented
+        return [(p.size, p.throughput) for p in self._points] == [
+            (p.size, p.throughput) for p in other._points
+        ]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({p.size}, {p.throughput})" for p in self._points)
+        return f"ParetoFront([{inner}])"

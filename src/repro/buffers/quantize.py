@@ -1,0 +1,51 @@
+"""Throughput quantisation (Sec. 11).
+
+The H.263 experiment of the paper produces a design space with very
+many Pareto points whose throughputs are nearly identical; quantising
+the throughputs searched "drastically improves the execution time of
+the design-space exploration".  The helpers here snap throughput
+values to a grid of the form ``k * quantum`` and thin a Pareto front
+so that consecutive points differ by at least one quantum.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.buffers.pareto import ParetoFront, ParetoPoint
+from repro.exceptions import ExplorationError
+
+
+def quantize_down(value: Fraction, quantum: Fraction) -> Fraction:
+    """Largest grid multiple of *quantum* not exceeding *value*."""
+    if quantum <= 0:
+        raise ExplorationError("quantum must be positive")
+    return (value / quantum).__floor__() * quantum
+
+
+def quantize_up(value: Fraction, quantum: Fraction) -> Fraction:
+    """Smallest grid multiple of *quantum* not below *value*."""
+    if quantum <= 0:
+        raise ExplorationError("quantum must be positive")
+    return (value / quantum).__ceil__() * quantum
+
+
+def thin_front(front: ParetoFront, quantum: Fraction) -> ParetoFront:
+    """Keep only the first (smallest) point of every quantum level.
+
+    The result is still a valid Pareto front and contains, for every
+    grid level ``k * quantum`` that the original front reaches, the
+    cheapest distribution reaching it.
+    """
+    if quantum <= 0:
+        raise ExplorationError("quantum must be positive")
+    thinned = ParetoFront()
+    level_seen: Fraction | None = None
+    for point in front:
+        level = quantize_down(point.throughput, quantum)
+        if level_seen is None or level > level_seen:
+            thinned._points.append(
+                ParetoPoint(point.size, point.throughput, point.witnesses)
+            )
+            level_seen = level
+    return thinned

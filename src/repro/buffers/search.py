@@ -1,0 +1,238 @@
+"""The paper's design-space search strategies (Sec. 9).
+
+Two cooperating searches:
+
+* **size dimension** — either a plain sweep over every size in
+  ``[lb, ub]`` or the paper's divide-and-conquer: compute the maximal
+  throughput at both interval ends; equal values mean (by monotonicity
+  of throughput in capacity) that no Pareto point lies strictly
+  inside, otherwise recurse on the halves;
+
+* **throughput dimension** — for one size, find the maximal
+  throughput over all distributions of that size.  The exact variant
+  scans the full enumeration (early-exiting when the global maximum is
+  reached); the quantised variant performs the paper's binary search
+  over a throughput grid, where each probe only scans until *some*
+  distribution reaches the threshold.
+
+Both strategies share a memoising evaluator so a distribution is never
+simulated twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from collections.abc import Mapping
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.enumerate import distributions_of_size
+from repro.buffers.quantize import quantize_down
+from repro.engine.executor import Executor
+from repro.graph.graph import SDFGraph
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping shared by the search strategies."""
+
+    evaluations: int = 0
+    max_states_stored: int = 0
+    sizes_probed: int = 0
+    threshold_scans: int = 0
+    cache_hits: int = 0
+
+
+@dataclass
+class SizeProbe:
+    """Maximal throughput found for one distribution size."""
+
+    size: int
+    throughput: Fraction
+    witnesses: tuple[StorageDistribution, ...]
+    exact: bool
+
+
+class ThroughputEvaluator:
+    """Memoising throughput oracle for storage distributions."""
+
+    def __init__(self, graph: SDFGraph, observe: str | None, stats: SearchStats | None = None):
+        self.graph = graph
+        self.observe = observe
+        self.stats = stats if stats is not None else SearchStats()
+        self._cache: dict[StorageDistribution, Fraction] = {}
+
+    def __call__(self, distribution: StorageDistribution) -> Fraction:
+        cached = self._cache.get(distribution)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        result = Executor(self.graph, distribution, self.observe).run()
+        self.stats.evaluations += 1
+        self.stats.max_states_stored = max(self.stats.max_states_stored, result.states_stored)
+        self._cache[distribution] = result.throughput
+        return result.throughput
+
+    @property
+    def evaluations(self) -> dict[StorageDistribution, Fraction]:
+        """All evaluated distributions with their throughputs."""
+        return dict(self._cache)
+
+
+class SizeSearch:
+    """Throughput-dimension search for a fixed channel bound box."""
+
+    def __init__(
+        self,
+        graph: SDFGraph,
+        observe: str | None,
+        lower: Mapping[str, int],
+        upper: Mapping[str, int],
+        evaluator: ThroughputEvaluator,
+    ):
+        self.graph = graph
+        self.channels = graph.channel_names
+        self.lower = dict(lower)
+        self.upper = dict(upper)
+        self.evaluator = evaluator
+
+    # -- exact scan -----------------------------------------------------
+    def max_throughput_for_size(self, size: int, stop_at: Fraction | None = None) -> SizeProbe:
+        """Exact maximum over all distributions of *size*.
+
+        *stop_at* is an a-priori upper bound (the graph's maximal
+        throughput); reaching it ends the scan early.
+        """
+        self.evaluator.stats.sizes_probed += 1
+        best = Fraction(0)
+        witnesses: list[StorageDistribution] = []
+        for distribution in distributions_of_size(self.channels, size, self.lower, self.upper):
+            value = self.evaluator(distribution)
+            if value > best:
+                best = value
+                witnesses = [distribution]
+            elif value == best and value > 0:
+                witnesses.append(distribution)
+            if stop_at is not None and best >= stop_at:
+                break
+        return SizeProbe(size, best, tuple(witnesses), exact=True)
+
+    # -- quantised binary search (the paper's formulation) ---------------
+    def threshold_scan(self, size: int, threshold: Fraction) -> StorageDistribution | None:
+        """First distribution of *size* with throughput >= *threshold*."""
+        self.evaluator.stats.threshold_scans += 1
+        for distribution in distributions_of_size(self.channels, size, self.lower, self.upper):
+            if self.evaluator(distribution) >= threshold:
+                return distribution
+        return None
+
+    def quantized_max_for_size(
+        self,
+        size: int,
+        low: Fraction,
+        high: Fraction,
+        quantum: Fraction,
+    ) -> SizeProbe:
+        """Binary search over the throughput grid ``k * quantum``.
+
+        *low* is a throughput known to be achievable at this size (0
+        initially, or the value of a smaller size — the paper's
+        incremental lower bound); *high* the maximal throughput of the
+        graph.  Returns the best distribution found; its throughput is
+        exact, and no distribution of this size exceeds it by a full
+        quantum.
+        """
+        self.evaluator.stats.sizes_probed += 1
+        best = low
+        witness: StorageDistribution | None = None
+        grid_low = quantize_down(best, quantum)
+        grid_high = quantize_down(high, quantum)
+        while grid_low < grid_high:
+            middle = quantize_down(grid_low + (grid_high - grid_low + quantum) / 2, quantum)
+            found = self.threshold_scan(size, middle)
+            if found is not None:
+                best = max(best, self.evaluator(found))
+                witness = found
+                grid_low = quantize_down(best, quantum)
+                if best >= high:
+                    break
+            else:
+                grid_high = middle - quantum
+        witnesses = (witness,) if witness is not None else ()
+        return SizeProbe(size, best, witnesses, exact=False)
+
+
+def exhaustive_sweep(
+    graph: SDFGraph,
+    observe: str | None,
+    lower: Mapping[str, int],
+    upper: Mapping[str, int],
+    max_throughput: Fraction,
+    evaluator: ThroughputEvaluator | None = None,
+    stop_early: bool = True,
+) -> tuple[dict[int, SizeProbe], SearchStats]:
+    """Scan every size in ``[sz(lb), sz(ub)]``; stop once the maximum is hit.
+
+    With ``stop_early`` disabled each size is scanned to completion, so
+    every tied witness of the per-size maximum is collected (needed to
+    exhibit non-unique minimal storage distributions, Fig. 6).
+    """
+    evaluator = evaluator or ThroughputEvaluator(graph, observe)
+    search = SizeSearch(graph, observe, lower, upper, evaluator)
+    low_size = sum(lower.values())
+    high_size = sum(upper.values())
+    probes: dict[int, SizeProbe] = {}
+    for size in range(low_size, high_size + 1):
+        probe = search.max_throughput_for_size(
+            size, stop_at=max_throughput if stop_early else None
+        )
+        probes[size] = probe
+        if probe.throughput >= max_throughput:
+            break
+    return probes, evaluator.stats
+
+
+def divide_and_conquer(
+    graph: SDFGraph,
+    observe: str | None,
+    lower: Mapping[str, int],
+    upper: Mapping[str, int],
+    max_throughput: Fraction,
+    evaluator: ThroughputEvaluator | None = None,
+    quantum: Fraction | None = None,
+) -> tuple[dict[int, SizeProbe], SearchStats]:
+    """The paper's strategy: recursive halving of the size interval.
+
+    The maximal throughput is computed for both ends of the meaningful
+    size interval; when they agree, monotonicity guarantees no Pareto
+    point lies strictly inside and the interval is skipped.  With a
+    *quantum*, the per-size search uses the quantised binary search in
+    the throughput dimension, with the smaller size's result serving
+    as the incremental lower bound (Sec. 9).
+    """
+    evaluator = evaluator or ThroughputEvaluator(graph, observe)
+    search = SizeSearch(graph, observe, lower, upper, evaluator)
+    low_size = sum(lower.values())
+    high_size = sum(upper.values())
+    probes: dict[int, SizeProbe] = {}
+
+    def probe(size: int, known_low: Fraction) -> SizeProbe:
+        if size not in probes:
+            if quantum is None:
+                probes[size] = search.max_throughput_for_size(size, stop_at=max_throughput)
+            else:
+                probes[size] = search.quantized_max_for_size(size, known_low, max_throughput, quantum)
+        return probes[size]
+
+    first = probe(low_size, Fraction(0))
+    last = probe(high_size, first.throughput)
+
+    def recurse(left: SizeProbe, right: SizeProbe) -> None:
+        if right.size - left.size <= 1 or left.throughput == right.throughput:
+            return
+        middle = probe((left.size + right.size) // 2, left.throughput)
+        recurse(left, middle)
+        recurse(middle, right)
+
+    recurse(first, last)
+    return probes, evaluator.stats

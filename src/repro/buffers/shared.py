@@ -1,0 +1,70 @@
+"""Shared-memory storage requirements (the alternative model of Sec. 3).
+
+The paper sizes each channel separately — the right model when
+channels cannot share memory (distributed memories, multiprocessors),
+and a conservative bound otherwise.  Sec. 3 also describes the
+single-memory alternative used by Murthy et al. [MB00]: all channels
+share one memory and the requirement is the *maximum number of tokens
+stored at the same time* during the execution.
+
+This module measures that metric for a graph under a storage
+distribution: the peak, over all time instants of the transient and
+periodic phases, of the summed channel occupancy (stored tokens plus
+output space claimed by running firings, consistent with the
+claim-at-start semantics).  As the paper notes, the shared-memory
+requirement never exceeds the distribution size; the gap quantifies
+how much memory a shared implementation could save.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from collections.abc import Mapping
+
+from repro.buffers.pareto import ParetoFront
+from repro.engine.executor import Executor
+from repro.graph.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class SharedMemoryReport:
+    """Shared vs. distributed storage for one distribution."""
+
+    distribution_size: int
+    peak_shared_tokens: int
+    throughput: Fraction
+
+    @property
+    def saving(self) -> int:
+        """Tokens a single shared memory saves over per-channel memories."""
+        return self.distribution_size - self.peak_shared_tokens
+
+
+def shared_memory_requirement(
+    graph: SDFGraph,
+    capacities: Mapping[str, int],
+    observe: str | None = None,
+) -> SharedMemoryReport:
+    """Peak concurrent token storage under *capacities* (shared model)."""
+    result = Executor(graph, capacities, observe, track_occupancy=True).run()
+    assert result.peak_shared_tokens is not None
+    size = sum(capacities.values())
+    return SharedMemoryReport(size, result.peak_shared_tokens, result.throughput)
+
+
+def compare_storage_models(
+    graph: SDFGraph,
+    front: ParetoFront,
+    observe: str | None = None,
+) -> list[SharedMemoryReport]:
+    """Shared-memory requirement of every Pareto point's witness.
+
+    The returned reports parallel the front's points; each report's
+    ``peak_shared_tokens`` is what a single shared memory would need to
+    realise the same schedule that the per-channel distribution admits.
+    """
+    return [
+        shared_memory_requirement(graph, point.distribution, observe)
+        for point in front
+    ]

@@ -1,0 +1,20 @@
+"""Specialised explorer generation (the paper's ``buffy`` tool, Sec. 10).
+
+``buffy`` reads an SDF graph and *generates a program* that performs
+the design-space exploration for exactly that graph, with all rates
+and execution times baked in as constants.  This package reproduces
+both halves:
+
+* :mod:`repro.codegen.pygen` — generates a runnable, dependency-free
+  Python module (the working equivalent of the paper's generated C++
+  program); the test suite executes generated modules and checks them
+  against the library engine;
+* :mod:`repro.codegen.cgen` — generates C source in the exact style of
+  the paper's Fig. 8 (``CHECK_TOKENS`` / ``CHECK_SPACE`` / ``CONSUME``
+  / ``PRODUCE`` / ``LOWER_CLK`` macros), as a textual artefact.
+"""
+
+from repro.codegen.cgen import generate_c
+from repro.codegen.pygen import generate_python, load_generated
+
+__all__ = ["generate_c", "generate_python", "load_generated"]

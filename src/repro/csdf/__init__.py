@@ -1,0 +1,57 @@
+"""Cyclo-Static Dataflow (CSDF) extension.
+
+The paper's conclusions announce generalising the exact
+buffer/throughput exploration "to more general data flow models"; the
+SDF3 line of work did exactly that for cyclo-static dataflow
+(Stuijk et al., IEEE TC 2008).  This package provides that
+generalisation on top of the same machinery:
+
+* :mod:`repro.csdf.graph` — actors with *phase-dependent* execution
+  times and port rates (rates may be zero in individual phases),
+* :mod:`repro.csdf.repetitions` — consistency and the phase-aware
+  repetition vector,
+* :mod:`repro.csdf.executor` — deterministic self-timed execution with
+  the same claim-at-start storage semantics, tick/event modes, reduced
+  state space and blocking tracking,
+* :mod:`repro.csdf.bounds` — sound (conservative) storage bounds,
+* :mod:`repro.csdf.explorer` — the dependency-guided exact Pareto
+  exploration, returning the same
+  :class:`~repro.buffers.pareto.ParetoFront` objects as the SDF path.
+
+An SDF graph is exactly a CSDF graph whose actors all have one phase;
+the test suite checks behavioural equivalence of the two engines on
+such graphs.
+"""
+
+from repro.csdf.bounds import csdf_lower_bound_distribution, csdf_upper_bound_distribution
+from repro.csdf.executor import CSDFExecutor, CSDFExecutionResult
+from repro.csdf.explorer import (
+    CSDFDesignSpaceResult,
+    csdf_max_throughput,
+    csdf_minimal_distribution_for_throughput,
+    explore_csdf_design_space,
+)
+from repro.csdf.graph import CSDFActor, CSDFChannel, CSDFGraph, from_sdf
+from repro.csdf.repetitions import (
+    csdf_firings_per_iteration,
+    csdf_is_consistent,
+    csdf_repetition_vector,
+)
+
+__all__ = [
+    "CSDFActor",
+    "CSDFChannel",
+    "CSDFDesignSpaceResult",
+    "CSDFExecutionResult",
+    "CSDFExecutor",
+    "CSDFGraph",
+    "csdf_firings_per_iteration",
+    "csdf_is_consistent",
+    "csdf_lower_bound_distribution",
+    "csdf_max_throughput",
+    "csdf_minimal_distribution_for_throughput",
+    "csdf_repetition_vector",
+    "csdf_upper_bound_distribution",
+    "explore_csdf_design_space",
+    "from_sdf",
+]

@@ -1,0 +1,46 @@
+"""Storage bounds for CSDF graphs.
+
+Unlike the SDF case, tight per-channel lower bounds for CSDF involve
+phase interleavings; for the exploration only *soundness* matters (the
+seed must not exceed any positive-throughput distribution), so a
+simple conservative bound is used:
+
+    lb(c) = max(initial tokens, max production phase, max consumption phase)
+
+— the channel must hold its initial tokens, admit the largest single
+production burst, and be able to accumulate the largest consumption
+requirement.  The upper bound mirrors the SDF [GGD02] form with the
+summed phase rates; the explorer verifies and enlarges it exactly as
+in the SDF path.
+"""
+
+from __future__ import annotations
+
+from repro.buffers.distribution import StorageDistribution
+from repro.csdf.graph import CSDFChannel, CSDFGraph
+from repro.csdf.repetitions import csdf_repetition_vector
+
+
+def csdf_channel_lower_bound(channel: CSDFChannel) -> int:
+    """Sound (conservative) minimal capacity for positive throughput."""
+    return max(channel.initial_tokens, max(channel.productions), max(channel.consumptions))
+
+
+def csdf_lower_bound_distribution(graph: CSDFGraph) -> StorageDistribution:
+    """Per-channel sound lower bounds."""
+    return StorageDistribution(
+        {channel.name: csdf_channel_lower_bound(channel) for channel in graph.channels.values()}
+    )
+
+
+def csdf_upper_bound_distribution(graph: CSDFGraph) -> StorageDistribution:
+    """Conservative per-channel upper bounds (one iteration per side)."""
+    q = csdf_repetition_vector(graph)
+    return StorageDistribution(
+        {
+            channel.name: channel.initial_tokens
+            + channel.total_production * q[channel.source]
+            + channel.total_consumption * q[channel.destination]
+            for channel in graph.channels.values()
+        }
+    )

@@ -1,0 +1,144 @@
+"""Exact buffer/throughput exploration for CSDF graphs.
+
+The storage-dependency-guided sweep of
+:mod:`repro.buffers.dependencies` transfers verbatim: the CSDF
+execution is deterministic, enlarging a channel that never blocked a
+firing cannot change it, and a blocked channel must grow by at least
+its minimal observed deficit before any decision changes.  The sweep
+therefore reaches a witness for every Pareto point, and the
+size-ordered frontier with the throughput ceiling terminates exactly
+as in the SDF case.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.pareto import ParetoFront
+from repro.csdf.bounds import csdf_lower_bound_distribution, csdf_upper_bound_distribution
+from repro.csdf.executor import CSDFExecutor
+from repro.csdf.graph import CSDFGraph
+from repro.csdf.repetitions import csdf_repetition_vector
+from repro.exceptions import ExplorationError
+
+
+@dataclass(frozen=True)
+class CSDFDesignSpaceResult:
+    """Outcome of :func:`explore_csdf_design_space`."""
+
+    graph_name: str
+    observe: str
+    front: ParetoFront
+    evaluations: int
+    max_states_stored: int
+    wall_time_s: float
+    lower_bounds: StorageDistribution
+    upper_bounds: StorageDistribution
+    max_throughput: Fraction
+
+
+def csdf_max_throughput(
+    graph: CSDFGraph, observe: str | None = None, confirmations: int = 2
+) -> Fraction:
+    """Maximal throughput over all storage distributions.
+
+    Computed with the adaptive state-space method: execute at the
+    conservative upper bound and double until the value is stable for
+    *confirmations* consecutive doublings.
+    """
+    csdf_repetition_vector(graph)  # consistency guard
+    capacities = dict(csdf_upper_bound_distribution(graph))
+    best = CSDFExecutor(graph, capacities, observe).run().throughput
+    stable = 0
+    while stable < confirmations:
+        capacities = {name: 2 * value for name, value in capacities.items()}
+        enlarged = CSDFExecutor(graph, capacities, observe).run().throughput
+        if enlarged == best:
+            stable += 1
+        else:
+            best = enlarged
+            stable = 0
+    return best
+
+
+def explore_csdf_design_space(
+    graph: CSDFGraph,
+    observe: str | None = None,
+    *,
+    max_size: int | None = None,
+) -> CSDFDesignSpaceResult:
+    """Chart the storage/throughput Pareto space of a CSDF graph."""
+    if observe is None:
+        observe = graph.actor_names[-1]
+    started = time.perf_counter()
+    lower = csdf_lower_bound_distribution(graph)
+    upper = csdf_upper_bound_distribution(graph)
+    max_thr = csdf_max_throughput(graph, observe)
+
+    order = graph.channel_names
+    evaluations: dict[StorageDistribution, Fraction] = {}
+    heap: list[tuple[int, tuple[int, ...], StorageDistribution]] = []
+    queued: set[StorageDistribution] = set()
+    max_states = 0
+    ceiling: int | None = None
+
+    def push(distribution: StorageDistribution) -> None:
+        if distribution in queued or distribution in evaluations:
+            return
+        if max_size is not None and distribution.size > max_size:
+            return
+        if ceiling is not None and distribution.size > ceiling:
+            return
+        queued.add(distribution)
+        heapq.heappush(heap, (distribution.size, tuple(distribution[n] for n in order), distribution))
+
+    push(lower)
+    while heap:
+        size, _vector, distribution = heapq.heappop(heap)
+        if ceiling is not None and size > ceiling:
+            break
+        queued.discard(distribution)
+        result = CSDFExecutor(graph, distribution, observe, track_blocking=True).run()
+        evaluations[distribution] = result.throughput
+        max_states = max(max_states, result.states_stored)
+        if max_thr > 0 and result.throughput >= max_thr:
+            if ceiling is None or size < ceiling:
+                ceiling = size
+            continue
+        if max_thr == 0:
+            # The graph deadlocks at every distribution; nothing to grow.
+            break
+        for channel in result.space_blocked:
+            push(distribution.incremented(channel, result.space_deficits.get(channel, 1)))
+
+    front = ParetoFront.from_evaluations(evaluations)
+    return CSDFDesignSpaceResult(
+        graph_name=graph.name,
+        observe=observe,
+        front=front,
+        evaluations=len(evaluations),
+        max_states_stored=max_states,
+        wall_time_s=time.perf_counter() - started,
+        lower_bounds=lower,
+        upper_bounds=upper,
+        max_throughput=max_thr,
+    )
+
+
+def csdf_minimal_distribution_for_throughput(
+    graph: CSDFGraph, constraint: Fraction, observe: str | None = None
+) -> tuple[StorageDistribution, Fraction] | None:
+    """Smallest CSDF storage distribution meeting *constraint*."""
+    if constraint <= 0:
+        raise ExplorationError("the throughput constraint must be positive")
+    if constraint > csdf_max_throughput(graph, observe):
+        return None
+    result = explore_csdf_design_space(graph, observe)
+    point = result.front.smallest_for(constraint)
+    if point is None:
+        return None
+    return point.distribution, point.throughput

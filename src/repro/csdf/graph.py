@@ -1,0 +1,250 @@
+"""Cyclo-static dataflow graphs.
+
+A CSDF actor cycles through a fixed sequence of *phases*; each phase
+has its own execution time and its own production/consumption rates
+(which may be zero — a phase that does not touch a channel).  Over one
+full phase cycle the actor behaves like an SDF actor with the summed
+rates, which is what consistency is defined against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.exceptions import GraphError, ValidationError
+from repro.graph.graph import SDFGraph
+
+
+def _check_sequence(name: str, what: str, values: Sequence[int], allow_zero: bool) -> tuple[int, ...]:
+    values = tuple(values)
+    if not values:
+        raise GraphError(f"{name}: {what} sequence must be non-empty")
+    for value in values:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise GraphError(f"{name}: {what} must be integers")
+        if value < 0 or (value == 0 and not allow_zero):
+            raise GraphError(f"{name}: {what} must be {'non-negative' if allow_zero else 'positive'}")
+    return values
+
+
+@dataclass(frozen=True)
+class CSDFActor:
+    """A CSDF actor: one execution time per phase."""
+
+    name: str
+    execution_times: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("actor name must be non-empty")
+        object.__setattr__(
+            self,
+            "execution_times",
+            _check_sequence(self.name, "execution time", self.execution_times, allow_zero=True),
+        )
+
+    @property
+    def num_phases(self) -> int:
+        """Length of the actor's phase cycle."""
+        return len(self.execution_times)
+
+
+@dataclass(frozen=True)
+class CSDFChannel:
+    """A CSDF channel: one rate per endpoint phase.
+
+    ``productions`` has one entry per phase of the source actor,
+    ``consumptions`` one per phase of the destination actor; zero
+    entries mean the phase does not touch the channel.  At least one
+    entry of each sequence must be positive.
+    """
+
+    name: str
+    source: str
+    destination: str
+    productions: tuple[int, ...]
+    consumptions: tuple[int, ...]
+    initial_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("channel name must be non-empty")
+        object.__setattr__(
+            self, "productions", _check_sequence(self.name, "production rate", self.productions, True)
+        )
+        object.__setattr__(
+            self, "consumptions", _check_sequence(self.name, "consumption rate", self.consumptions, True)
+        )
+        if sum(self.productions) == 0:
+            raise GraphError(f"channel {self.name!r}: all production phases are zero")
+        if sum(self.consumptions) == 0:
+            raise GraphError(f"channel {self.name!r}: all consumption phases are zero")
+        if not isinstance(self.initial_tokens, int) or isinstance(self.initial_tokens, bool):
+            raise GraphError(f"channel {self.name!r}: initial tokens must be int")
+        if self.initial_tokens < 0:
+            raise GraphError(f"channel {self.name!r}: initial tokens must be >= 0")
+
+    @property
+    def total_production(self) -> int:
+        """Tokens produced over one full source phase cycle."""
+        return sum(self.productions)
+
+    @property
+    def total_consumption(self) -> int:
+        """Tokens consumed over one full destination phase cycle."""
+        return sum(self.consumptions)
+
+
+class CSDFGraph:
+    """A cyclo-static dataflow graph ``(A, C)``."""
+
+    def __init__(self, name: str = "csdf"):
+        if not name:
+            raise GraphError("graph name must be non-empty")
+        self.name = name
+        self._actors: dict[str, CSDFActor] = {}
+        self._channels: dict[str, CSDFChannel] = {}
+        self._outgoing: dict[str, list[CSDFChannel]] = {}
+        self._incoming: dict[str, list[CSDFChannel]] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_actor(self, name: str, execution_times: Sequence[int]) -> CSDFActor:
+        """Add an actor with the given per-phase execution times."""
+        if name in self._actors:
+            raise GraphError(f"duplicate actor name {name!r}")
+        actor = CSDFActor(name, tuple(execution_times))
+        self._actors[name] = actor
+        self._outgoing[name] = []
+        self._incoming[name] = []
+        return actor
+
+    def add_channel(
+        self,
+        source: str,
+        destination: str,
+        productions: Sequence[int],
+        consumptions: Sequence[int],
+        initial_tokens: int = 0,
+        name: str | None = None,
+    ) -> CSDFChannel:
+        """Connect *source* to *destination* with per-phase rates."""
+        if source not in self._actors:
+            raise GraphError(f"unknown source actor {source!r}")
+        if destination not in self._actors:
+            raise GraphError(f"unknown destination actor {destination!r}")
+        if name is None:
+            index = len(self._channels)
+            while f"ch{index}" in self._channels:
+                index += 1
+            name = f"ch{index}"
+        if name in self._channels:
+            raise GraphError(f"duplicate channel name {name!r}")
+        channel = CSDFChannel(name, source, destination, tuple(productions), tuple(consumptions), initial_tokens)
+        if len(channel.productions) != self._actors[source].num_phases:
+            raise ValidationError(
+                f"channel {name!r}: {len(channel.productions)} production phases but actor"
+                f" {source!r} has {self._actors[source].num_phases}"
+            )
+        if len(channel.consumptions) != self._actors[destination].num_phases:
+            raise ValidationError(
+                f"channel {name!r}: {len(channel.consumptions)} consumption phases but actor"
+                f" {destination!r} has {self._actors[destination].num_phases}"
+            )
+        self._channels[name] = channel
+        self._outgoing[source].append(channel)
+        self._incoming[destination].append(channel)
+        return channel
+
+    # -- access ------------------------------------------------------------
+    @property
+    def actors(self) -> Mapping[str, CSDFActor]:
+        """Actors by name, in insertion order."""
+        return self._actors
+
+    @property
+    def channels(self) -> Mapping[str, CSDFChannel]:
+        """Channels by name, in insertion order."""
+        return self._channels
+
+    def actor(self, name: str) -> CSDFActor:
+        """Look up an actor by name."""
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise GraphError(f"unknown actor {name!r}") from None
+
+    def channel(self, name: str) -> CSDFChannel:
+        """Look up a channel by name."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise GraphError(f"unknown channel {name!r}") from None
+
+    def incoming(self, actor: str) -> list[CSDFChannel]:
+        """Channels consumed from by *actor*."""
+        if actor not in self._incoming:
+            raise GraphError(f"unknown actor {actor!r}")
+        return list(self._incoming[actor])
+
+    def outgoing(self, actor: str) -> list[CSDFChannel]:
+        """Channels produced onto by *actor*."""
+        if actor not in self._outgoing:
+            raise GraphError(f"unknown actor {actor!r}")
+        return list(self._outgoing[actor])
+
+    @property
+    def actor_names(self) -> list[str]:
+        """Actor names in insertion order."""
+        return list(self._actors)
+
+    @property
+    def channel_names(self) -> list[str]:
+        """Channel names in insertion order."""
+        return list(self._channels)
+
+    @property
+    def num_actors(self) -> int:
+        """``|A|``."""
+        return len(self._actors)
+
+    @property
+    def num_channels(self) -> int:
+        """``|C|``."""
+        return len(self._channels)
+
+    def __iter__(self) -> Iterator[CSDFActor]:
+        return iter(self._actors.values())
+
+    def describe(self) -> str:
+        """Multi-line human-readable description."""
+        lines = [f"CSDFGraph {self.name!r}: {self.num_actors} actors, {self.num_channels} channels"]
+        for actor in self._actors.values():
+            lines.append(f"  actor   {actor.name} t={list(actor.execution_times)}")
+        for channel in self._channels.values():
+            tokens = f" [{channel.initial_tokens} tok]" if channel.initial_tokens else ""
+            lines.append(
+                f"  channel {channel.name}: {channel.source} -{list(channel.productions)}->"
+                f" {list(channel.consumptions)}- {channel.destination}{tokens}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"CSDFGraph({self.name!r}, actors={self.num_actors}, channels={self.num_channels})"
+
+
+def from_sdf(graph: SDFGraph) -> CSDFGraph:
+    """Lift an SDF graph into the CSDF model (one phase per actor)."""
+    lifted = CSDFGraph(graph.name)
+    for actor in graph.actors.values():
+        lifted.add_actor(actor.name, (actor.execution_time,))
+    for channel in graph.channels.values():
+        lifted.add_channel(
+            channel.source,
+            channel.destination,
+            (channel.production,),
+            (channel.consumption,),
+            channel.initial_tokens,
+            name=channel.name,
+        )
+    return lifted

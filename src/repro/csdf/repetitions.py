@@ -1,0 +1,75 @@
+"""CSDF consistency and repetition vectors.
+
+Over one full phase cycle a CSDF actor produces/consumes the *sum* of
+its per-phase rates, so the balance equations read
+
+    q[src] * sum(productions) == q[dst] * sum(consumptions)
+
+with ``q`` counting full phase cycles.  The number of individual
+firings per iteration is ``q[a] * num_phases(a)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+from math import gcd, lcm
+
+from repro.csdf.graph import CSDFGraph
+from repro.exceptions import InconsistentGraphError
+
+
+def csdf_repetition_vector(graph: CSDFGraph) -> dict[str, int]:
+    """Full-phase-cycle counts per actor (smallest positive solution).
+
+    Raises :class:`InconsistentGraphError` when only the trivial
+    solution exists.
+    """
+    ratios: dict[str, Fraction] = {}
+    adjacency: dict[str, list[tuple[str, Fraction]]] = {name: [] for name in graph.actor_names}
+    for channel in graph.channels.values():
+        forward = Fraction(channel.total_production, channel.total_consumption)
+        adjacency[channel.source].append((channel.destination, forward))
+        adjacency[channel.destination].append((channel.source, 1 / forward))
+
+    for start in graph.actor_names:
+        if start in ratios:
+            continue
+        ratios[start] = Fraction(1)
+        component = [start]
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbour, multiplier in adjacency[current]:
+                expected = ratios[current] * multiplier
+                known = ratios.get(neighbour)
+                if known is None:
+                    ratios[neighbour] = expected
+                    component.append(neighbour)
+                    queue.append(neighbour)
+                elif known != expected:
+                    raise InconsistentGraphError(
+                        f"CSDF graph {graph.name!r} is inconsistent at actor {neighbour!r}"
+                    )
+        denominator_lcm = lcm(*(ratios[name].denominator for name in component))
+        scaled = [int(ratios[name] * denominator_lcm) for name in component]
+        numerator_gcd = gcd(*scaled)
+        for name, value in zip(component, scaled):
+            ratios[name] = Fraction(value // numerator_gcd)
+
+    return {name: int(ratios[name]) for name in graph.actor_names}
+
+
+def csdf_is_consistent(graph: CSDFGraph) -> bool:
+    """Whether the CSDF balance equations have a non-trivial solution."""
+    try:
+        csdf_repetition_vector(graph)
+    except InconsistentGraphError:
+        return False
+    return True
+
+
+def csdf_firings_per_iteration(graph: CSDFGraph) -> dict[str, int]:
+    """Phase executions per actor per graph iteration."""
+    q = csdf_repetition_vector(graph)
+    return {name: q[name] * graph.actor(name).num_phases for name in graph.actor_names}

@@ -1,0 +1,89 @@
+"""Recorded firing schedules.
+
+A schedule maps each firing of each actor to its start time
+(Definition 3).  The execution engine records firings as half-open
+intervals ``[start, end)`` (``start == end`` for zero-execution-time
+actors); this module provides the queries needed to render Table-1
+style Gantt charts and to verify schedule validity in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class FiringEvent:
+    """One recorded firing of one actor."""
+
+    actor: str
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        """Execution time of the firing."""
+        return self.end - self.start
+
+
+class Schedule:
+    """An ordered record of firings produced by one execution."""
+
+    def __init__(self, graph: SDFGraph):
+        self.graph = graph
+        self._events: list[FiringEvent] = []
+        self._by_actor: dict[str, list[FiringEvent]] = {name: [] for name in graph.actor_names}
+
+    def record(self, actor: str, start: int, end: int) -> None:
+        """Append a firing of *actor* over ``[start, end)``."""
+        event = FiringEvent(actor, start, end)
+        self._events.append(event)
+        self._by_actor[actor].append(event)
+
+    @property
+    def events(self) -> list[FiringEvent]:
+        """All firings in recording (= start-time) order."""
+        return list(self._events)
+
+    def firings(self, actor: str) -> list[FiringEvent]:
+        """The firings of *actor*, in order."""
+        return list(self._by_actor[actor])
+
+    def start_times(self, actor: str) -> list[int]:
+        """``sigma(actor, i)`` for each recorded firing ``i``."""
+        return [event.start for event in self._by_actor[actor]]
+
+    def num_firings(self, actor: str) -> int:
+        """Number of recorded firings of *actor*."""
+        return len(self._by_actor[actor])
+
+    @property
+    def horizon(self) -> int:
+        """Largest end time over all recorded firings (0 when empty)."""
+        return max((event.end for event in self._events), default=0)
+
+    def activity(self, actor: str, time: int) -> str | None:
+        """What *actor* does during time step ``[time, time+1)``.
+
+        Returns ``"start"`` for the first step of a firing,
+        ``"running"`` for continuation steps and ``None`` when idle.
+        Zero-duration firings report ``"start"`` at their instant.
+        """
+        for event in self._by_actor[actor]:
+            if event.start == time:
+                return "start"
+            if event.start < time < event.end:
+                return "running"
+        return None
+
+    def concurrent_firings(self, time: int) -> list[FiringEvent]:
+        """Firings active during time step ``[time, time+1)``."""
+        return [e for e in self._events if e.start <= time < e.end or (e.start == e.end == time)]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"Schedule({len(self._events)} firings, horizon={self.horizon})"

@@ -1,0 +1,53 @@
+"""Hash-based visited-state store.
+
+The paper's generated explorer keeps the visited (reduced) states in a
+hash table so that each new state can be checked in amortised constant
+time (Sec. 10, ``storeState``).  :class:`StateStore` provides exactly
+that: insertion order is preserved so that, when a state recurs, the
+slice from its first occurrence to the end is the detected cycle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from typing import Generic, TypeVar
+
+StateT = TypeVar("StateT", bound=Hashable)
+
+
+class StateStore(Generic[StateT]):
+    """Insertion-ordered set of states with first-occurrence lookup."""
+
+    def __init__(self) -> None:
+        self._index: dict[StateT, int] = {}
+        self._states: list[StateT] = []
+
+    def add(self, state: StateT) -> int | None:
+        """Store *state*; return its earlier index if already present.
+
+        ``None`` means the state was new (and has been added).  A
+        non-``None`` return value signals a cycle: the states from that
+        index to the end of the store form the periodic phase.
+        """
+        existing = self._index.get(state)
+        if existing is not None:
+            return existing
+        self._index[state] = len(self._states)
+        self._states.append(state)
+        return None
+
+    def __contains__(self, state: StateT) -> bool:
+        return state in self._index
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[StateT]:
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> StateT:
+        return self._states[index]
+
+    def states_from(self, index: int) -> list[StateT]:
+        """The stored states from *index* to the end (a detected cycle)."""
+        return self._states[index:]

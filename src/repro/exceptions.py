@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so applications can catch library failures with a
+single ``except`` clause while still distinguishing the common cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with an SDF graph definition.
+
+    Raised for duplicate names, dangling channel endpoints, non-positive
+    rates, negative execution times and similar construction mistakes.
+    """
+
+
+class ValidationError(GraphError):
+    """A graph failed one of the structural validation checks."""
+
+
+class InconsistentGraphError(ReproError):
+    """The SDF graph has no non-trivial repetition vector.
+
+    Inconsistent graphs cannot execute indefinitely within bounded
+    memory (Lee, 1991); buffer sizing is undefined for them and every
+    analysis entry point rejects them with this error.
+    """
+
+
+class DeadlockError(ReproError):
+    """An execution deadlocked where progress was required.
+
+    Carries the :attr:`time` at which the deadlock was detected, when
+    known.
+    """
+
+    def __init__(self, message: str, time: int | None = None):
+        super().__init__(message)
+        self.time = time
+
+
+class EngineError(ReproError):
+    """The execution engine hit a guard limit.
+
+    Raised for diverging zero-execution-time firing cascades within a
+    single time instant and for runs exceeding a user-supplied step
+    limit.
+    """
+
+
+class CapacityError(ReproError):
+    """A storage distribution is malformed or violates channel bounds."""
+
+
+class ExplorationError(ReproError):
+    """The design-space exploration was given unusable parameters."""
+
+
+class ParseError(ReproError):
+    """An input file (XML / JSON graph description) could not be parsed."""
+
+
+class AnalysisError(ReproError):
+    """A graph analysis could not be completed.
+
+    For example: requesting the maximum cycle mean of an acyclic
+    homogeneous graph, or an HSDF expansion that exceeds a safety limit.
+    """

@@ -1,0 +1,153 @@
+"""The example graphs of Bhattacharyya, Murthy & Lee (1999).
+
+The paper's experiments (Figs. 9-11, Table 2) use three graphs from
+[BML99]: a modem, a CD-to-DAT sample-rate converter and a satellite
+receiver.  The figures are not contained in the text available to this
+reproduction, so the graphs below are rebuilt from the literature:
+
+* the **sample-rate converter** is the classical CD-to-DAT chain whose
+  rate pairs (1:1, 2:3, 2:7, 8:7, 5:1) realise the 147:160 conversion
+  of 44.1 kHz to 48 kHz — topology and rates are exact;
+* the **modem** keeps the documented size of the original (16 actors,
+  19 channels, a 16:1 / 1:16 rate change and feedback loops) with
+  reconstructed execution times;
+* the **satellite receiver** keeps the documented size of the Ritz
+  et al. model (22 actors, 26 channels, two parallel filterbank
+  chains); the original's 240:1 downsampling is parameterised so the
+  default stays tractable in pure Python (full rate available via the
+  ``downsampling`` argument).
+
+Absolute Pareto coordinates therefore differ from the paper's for the
+modem and satellite receiver; the staircase *shape* and the relative
+difficulty ordering are preserved.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import SDFGraph
+
+
+def sample_rate_converter() -> SDFGraph:
+    """CD-to-DAT sample-rate converter (Fig. 10 of the paper).
+
+    Repetition vector (147, 147, 98, 28, 32, 160).
+    """
+    return (
+        GraphBuilder("samplerate")
+        .actor("cd", execution_time=1)
+        .actor("stage1", execution_time=1)
+        .actor("stage2", execution_time=2)
+        .actor("stage3", execution_time=3)
+        .actor("stage4", execution_time=2)
+        .actor("dat", execution_time=1)
+        .channel("cd", "stage1", production=1, consumption=1, name="c1")
+        .channel("stage1", "stage2", production=2, consumption=3, name="c2")
+        .channel("stage2", "stage3", production=2, consumption=7, name="c3")
+        .channel("stage3", "stage4", production=8, consumption=7, name="c4")
+        .channel("stage4", "dat", production=5, consumption=1, name="c5")
+        .build()
+    )
+
+
+def modem() -> SDFGraph:
+    """Modem (Fig. 9 of the paper; reconstruction, 16 actors, 19 channels).
+
+    A serial demodulation chain with a 1:16 interpolating / 16:1
+    decimating rate change, an equaliser feedback loop and a carrier
+    tracking loop — the structural features of the BML99 modem.
+    """
+    builder = (
+        GraphBuilder("modem")
+        .actor("in", execution_time=1)
+        .actor("filt", execution_time=2)
+        .actor("fork1", execution_time=1)
+        .actor("hil", execution_time=2)
+        .actor("demod", execution_time=1)
+        .actor("fork2", execution_time=1)
+        .actor("conj", execution_time=1)
+        .actor("mul", execution_time=1)
+        .actor("deci", execution_time=1)
+        .actor("eqlz", execution_time=2)
+        .actor("fork3", execution_time=1)
+        .actor("dec", execution_time=1)
+        .actor("err", execution_time=1)
+        .actor("upd", execution_time=2)
+        .actor("interp", execution_time=1)
+        .actor("out", execution_time=1)
+    )
+    builder.channel("in", "filt", 1, 1, name="m1")
+    builder.channel("filt", "fork1", 1, 1, name="m2")
+    builder.channel("fork1", "hil", 1, 1, name="m3")
+    builder.channel("fork1", "demod", 1, 1, name="m4")
+    builder.channel("hil", "demod", 1, 1, name="m5")
+    builder.channel("demod", "fork2", 1, 1, name="m6")
+    builder.channel("fork2", "conj", 1, 1, name="m7")
+    builder.channel("fork2", "mul", 1, 1, name="m8")
+    builder.channel("conj", "mul", 1, 1, initial_tokens=1, name="m9")
+    # 16:1 decimation into the symbol-rate part of the receiver.
+    builder.channel("mul", "deci", 1, 16, name="m10")
+    builder.channel("deci", "eqlz", 1, 1, name="m11")
+    builder.channel("eqlz", "fork3", 1, 1, name="m12")
+    builder.channel("fork3", "dec", 1, 1, name="m13")
+    builder.channel("fork3", "err", 1, 1, name="m14")
+    builder.channel("dec", "err", 1, 1, name="m15")
+    builder.channel("err", "upd", 1, 1, name="m16")
+    # Equaliser coefficient update loop (one-iteration delay).
+    builder.channel("upd", "eqlz", 1, 1, initial_tokens=1, name="m17")
+    # 1:16 interpolation back to the sample rate for the output stage.
+    builder.channel("dec", "interp", 16, 1, name="m18")
+    builder.channel("interp", "out", 1, 1, name="m19")
+    return builder.build()
+
+
+def satellite_receiver(downsampling: int = 4) -> SDFGraph:
+    """Satellite receiver (Fig. 11 of the paper; reconstruction).
+
+    Two parallel I/Q filterbank chains that are downsampled, matched,
+    and merged into a symbol detector — 22 actors and 26 channels as
+    in the Ritz et al. model.  The original downsamples 240:1; the
+    *downsampling* parameter (default 4 per stage, i.e. 16:1 overall)
+    keeps the pure-Python exploration tractable while exercising the
+    identical structure.  Pass larger values to approach the original.
+    """
+    if downsampling < 2:
+        raise ValueError("downsampling must be at least 2")
+    d = downsampling
+    builder = GraphBuilder("satellite")
+    for branch in ("i", "q"):
+        builder.actor(f"src_{branch}", execution_time=1)
+        builder.actor(f"dc_{branch}", execution_time=1)
+        builder.actor(f"flt1_{branch}", execution_time=2)
+        builder.actor(f"dwn1_{branch}", execution_time=1)
+        builder.actor(f"flt2_{branch}", execution_time=2)
+        builder.actor(f"dwn2_{branch}", execution_time=1)
+        builder.actor(f"mf_{branch}", execution_time=3)
+        builder.actor(f"agc_{branch}", execution_time=1)
+        builder.actor(f"trk_{branch}", execution_time=1)
+    builder.actor("merge", execution_time=1)
+    builder.actor("phase", execution_time=2)
+    builder.actor("detect", execution_time=2)
+    builder.actor("sink", execution_time=1)
+
+    for branch in ("i", "q"):
+        builder.channel(f"src_{branch}", f"dc_{branch}", 1, 1, name=f"s0_{branch}")
+        builder.channel(f"dc_{branch}", f"flt1_{branch}", 1, 1, name=f"s1_{branch}")
+        builder.channel(f"flt1_{branch}", f"dwn1_{branch}", 1, d, name=f"s2_{branch}")
+        builder.channel(f"dwn1_{branch}", f"flt2_{branch}", 1, 1, name=f"s3_{branch}")
+        builder.channel(f"flt2_{branch}", f"dwn2_{branch}", 1, d, name=f"s4_{branch}")
+        builder.channel(f"dwn2_{branch}", f"mf_{branch}", 1, 1, name=f"s5_{branch}")
+        builder.channel(f"mf_{branch}", f"agc_{branch}", 1, 1, name=f"s6_{branch}")
+        # Gain-control feedback around the matched filter.
+        builder.channel(f"agc_{branch}", f"mf_{branch}", 1, 1, initial_tokens=1, name=f"s7_{branch}")
+        builder.channel(f"agc_{branch}", f"trk_{branch}", 1, 1, name=f"s8_{branch}")
+        builder.channel(f"trk_{branch}", "merge", 1, 1, name=f"s9_{branch}")
+        # Carrier-recovery feedback from the phase corrector into the
+        # per-branch timing tracker.
+        builder.channel("phase", f"trk_{branch}", 1, 1, initial_tokens=1, name=f"s14_{branch}")
+    builder.channel("merge", "phase", 2, 2, name="s10")
+    builder.channel("phase", "detect", 1, 1, name="s11")
+    # Carrier-phase feedback from the detector.
+    builder.channel("detect", "phase", 1, 1, initial_tokens=1, name="s12")
+    builder.channel("detect", "sink", 1, 1, name="s13")
+    return builder.build()

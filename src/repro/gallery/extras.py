@@ -1,0 +1,76 @@
+"""Additional workloads beyond the paper's experiment set.
+
+These graphs are *not* part of the paper's evaluation; they are extra
+exercise material for the exploration engine, in the style of the
+SDF3 benchmark suite:
+
+* :func:`bipartite` — a dense four-actor bipartite graph; every
+  producer feeds every consumer, so the exploration must balance four
+  interacting channels.
+* :func:`mp3_decoder` — a reconstruction of the granule-level MP3
+  decoder model often used with SDF3 (14 actors, dual channel paths
+  splitting after the Huffman decoder and joining at the synthesis
+  filterbank).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import SDFGraph
+
+
+def bipartite() -> SDFGraph:
+    """A dense bipartite graph: producers {a, c} feed consumers {b, d}.
+
+    Repetition vector (2, 1, 2, 1); channel ``cb`` carries initial
+    tokens so the two sides can pipeline.
+    """
+    return (
+        GraphBuilder("bipartite")
+        .actor("a", execution_time=1)
+        .actor("b", execution_time=2)
+        .actor("c", execution_time=1)
+        .actor("d", execution_time=3)
+        .channel("a", "b", 1, 2, name="ab")
+        .channel("a", "d", 1, 2, name="ad")
+        .channel("c", "b", 1, 2, initial_tokens=2, name="cb")
+        .channel("c", "d", 1, 2, name="cd")
+        .build()
+    )
+
+
+def mp3_decoder() -> SDFGraph:
+    """Granule-level MP3 decoder reconstruction (14 actors).
+
+    One Huffman front-end feeding two per-channel chains
+    (requantisation, reordering, antialias, IMDCT, frequency
+    inversion, synthesis) that join in the stereo writer; execution
+    times are relative granule costs, not profiled cycles.
+    """
+    builder = (
+        GraphBuilder("mp3decoder")
+        .actor("huff", execution_time=4)
+        .actor("req_l", execution_time=2)
+        .actor("req_r", execution_time=2)
+        .actor("reorder_l", execution_time=1)
+        .actor("reorder_r", execution_time=1)
+        .actor("alias_l", execution_time=1)
+        .actor("alias_r", execution_time=1)
+        .actor("imdct_l", execution_time=5)
+        .actor("imdct_r", execution_time=5)
+        .actor("freqinv_l", execution_time=1)
+        .actor("freqinv_r", execution_time=1)
+        .actor("synth_l", execution_time=6)
+        .actor("synth_r", execution_time=6)
+        .actor("out", execution_time=1)
+    )
+    for side in ("l", "r"):
+        builder.channel("huff", f"req_{side}", 1, 1, name=f"g1_{side}")
+        builder.channel(f"req_{side}", f"reorder_{side}", 1, 1, name=f"g2_{side}")
+        builder.channel(f"reorder_{side}", f"alias_{side}", 1, 1, name=f"g3_{side}")
+        # 2 granules buffered into one IMDCT pass.
+        builder.channel(f"alias_{side}", f"imdct_{side}", 1, 2, name=f"g4_{side}")
+        builder.channel(f"imdct_{side}", f"freqinv_{side}", 1, 1, name=f"g5_{side}")
+        builder.channel(f"freqinv_{side}", f"synth_{side}", 1, 1, name=f"g6_{side}")
+        builder.channel(f"synth_{side}", "out", 2, 2, name=f"g7_{side}")
+    return builder.build()

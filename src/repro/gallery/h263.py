@@ -1,0 +1,41 @@
+"""The H.263 decoder model (Fig. 12 of the paper).
+
+The standard four-actor SDF model of a QCIF H.263 decoder used in the
+SDF3 literature: a variable-length decoder feeding 2376
+macroblock-level tokens per frame through inverse quantisation and
+IDCT into motion compensation, which reassembles one frame.  The
+execution times (in cycles) are the well-known profile numbers used
+with this model.
+
+The burst rate of 2376 makes the buffer design space enormous — the
+paper reports the largest exploration time for this graph and resorts
+to throughput quantisation.  The ``blocks`` parameter scales the burst
+so experiments can trade fidelity for runtime (the structure, the
+shape of the Pareto space and the need for quantisation are preserved
+at any size); the full-rate model is ``h263_decoder(blocks=2376)``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import SDFGraph
+
+#: Macroblock-level tokens per QCIF frame in the original model.
+FULL_BLOCKS = 2376
+
+
+def h263_decoder(blocks: int = FULL_BLOCKS) -> SDFGraph:
+    """The H.263 decoder SDF graph, with a scalable burst size."""
+    if blocks < 1:
+        raise ValueError("blocks must be positive")
+    return (
+        GraphBuilder("h263decoder")
+        .actor("vld", execution_time=26018)
+        .actor("iq", execution_time=559)
+        .actor("idct", execution_time=486)
+        .actor("mc", execution_time=10958)
+        .channel("vld", "iq", production=blocks, consumption=1, name="h1")
+        .channel("iq", "idct", production=1, consumption=1, name="h2")
+        .channel("idct", "mc", production=1, consumption=blocks, name="h3")
+        .build()
+    )

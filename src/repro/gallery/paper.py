@@ -1,0 +1,61 @@
+"""The example graphs drawn in the paper itself.
+
+``fig1_example`` is the running example used throughout the paper; the
+reconstruction below reproduces every number the text quotes:
+
+* repetition vector (3, 2, 1) for (a, b, c);
+* with storage distribution (alpha, beta) -> (4, 2): throughput of
+  actor c is 1/7 with the schedule of Table 1;
+* raising alpha to 6 gives throughput 1/6;
+* the maximal throughput 1/4 (actor b fires twice, 2 time steps each,
+  per firing of c) is reached at distribution size 10;
+* (4, 2) and (6, 2) are minimal storage distributions, (5, 2) is not.
+
+``fig6_example`` illustrates that minimal storage distributions are
+not unique.  The original figure is not recoverable from the available
+text, so this is a *reconstruction with the documented properties*: a
+symmetric four-channel graph in which two different distributions of
+the same size are both minimal for the same throughput of actor d.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import SDFGraph
+
+
+def fig1_example() -> SDFGraph:
+    """The paper's running example (Fig. 1)."""
+    return (
+        GraphBuilder("example")
+        .actor("a", execution_time=1)
+        .actor("b", execution_time=2)
+        .actor("c", execution_time=2)
+        .channel("a", "b", production=2, consumption=3, name="alpha")
+        .channel("b", "c", production=1, consumption=2, name="beta")
+        .build()
+    )
+
+
+def fig6_example() -> SDFGraph:
+    """A graph with non-unique minimal storage distributions (Fig. 6).
+
+    Two parallel branches (b and c) between a source a and a sink d.
+    With the chosen execution times the design space has a Pareto
+    point whose throughput is realised by two *different* minimal
+    storage distributions of the same size — the property the paper's
+    Fig. 6 illustrates with the distributions (1,2,3,3) and (2,1,3,3):
+    here size 7 is reached by both (2,2,2,1) and (2,1,2,2).
+    """
+    return (
+        GraphBuilder("fig6")
+        .actor("a", execution_time=1)
+        .actor("b", execution_time=3)
+        .actor("c", execution_time=2)
+        .actor("d", execution_time=1)
+        .channel("a", "b", production=1, consumption=1, name="alpha")
+        .channel("a", "c", production=1, consumption=1, name="beta")
+        .channel("b", "d", production=1, consumption=1, name="gamma")
+        .channel("c", "d", production=1, consumption=1, name="delta")
+        .build()
+    )

@@ -1,0 +1,44 @@
+"""Name-based access to the gallery graphs.
+
+Used by the command-line tool and the benchmark harness so that every
+experiment can address its workload by the name the paper uses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import GraphError
+from repro.gallery.bml99 import modem, sample_rate_converter, satellite_receiver
+from repro.gallery.extras import bipartite, mp3_decoder
+from repro.gallery.h263 import h263_decoder
+from repro.gallery.paper import fig1_example, fig6_example
+from repro.graph.graph import SDFGraph
+
+_REGISTRY: dict[str, Callable[[], SDFGraph]] = {
+    "example": fig1_example,
+    "fig6": fig6_example,
+    "modem": modem,
+    "samplerate": sample_rate_converter,
+    "satellite": satellite_receiver,
+    "h263": h263_decoder,
+    "h263-small": lambda: h263_decoder(blocks=99),
+    "bipartite": bipartite,
+    "mp3": mp3_decoder,
+}
+
+
+def gallery_names() -> list[str]:
+    """The available gallery graph names."""
+    return sorted(_REGISTRY)
+
+
+def gallery_graph(name: str) -> SDFGraph:
+    """Construct the gallery graph called *name*."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown gallery graph {name!r}; available: {', '.join(gallery_names())}"
+        ) from None
+    return factory()

@@ -1,0 +1,32 @@
+"""SDF graph data structures.
+
+This package provides the foundational model objects of the library:
+
+* :class:`~repro.graph.actor.Actor` — a node with a fixed execution time,
+* :class:`~repro.graph.port.Port` — a rate-annotated connection point,
+* :class:`~repro.graph.channel.Channel` — a FIFO edge with production /
+  consumption rates and initial tokens,
+* :class:`~repro.graph.graph.SDFGraph` — the graph itself,
+* :class:`~repro.graph.builder.GraphBuilder` — a fluent construction API.
+
+The classes mirror the formal definition of Sec. 2 of the paper: an SDF
+graph is a pair ``(A, C)`` of actors and channels, each actor port has a
+fixed rate, each actor has a fixed execution time in discrete time steps.
+"""
+
+from repro.graph.actor import Actor
+from repro.graph.builder import GraphBuilder
+from repro.graph.channel import Channel
+from repro.graph.graph import SDFGraph
+from repro.graph.port import Port, PortDirection
+from repro.graph.validation import validate_graph
+
+__all__ = [
+    "Actor",
+    "Channel",
+    "GraphBuilder",
+    "Port",
+    "PortDirection",
+    "SDFGraph",
+    "validate_graph",
+]

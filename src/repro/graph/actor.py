@@ -1,0 +1,79 @@
+"""SDF actors.
+
+An actor is a function that fires by consuming a fixed number of tokens
+from each input port and producing a fixed number on each output port.
+The time one firing takes is the actor's *execution time*, a natural
+number of discrete time steps (Sec. 2 of the paper).  Auto-concurrency
+is disallowed by the execution model: a new firing may only start after
+the previous one completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import GraphError
+from repro.graph.port import Port, PortDirection
+
+
+@dataclass
+class Actor:
+    """A node of an SDF graph.
+
+    Parameters
+    ----------
+    name:
+        Actor name, unique within the graph.
+    execution_time:
+        Number of discrete time steps one firing takes.  Zero is
+        permitted (instantaneous actors); the execution engine handles
+        them by completing the firing in the same time step it starts.
+    ports:
+        Mapping of port name to :class:`~repro.graph.port.Port`.
+        Normally populated by :class:`~repro.graph.builder.GraphBuilder`
+        when channels are attached.
+    """
+
+    name: str
+    execution_time: int = 1
+    ports: dict[str, Port] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("actor name must be non-empty")
+        if not isinstance(self.execution_time, int) or isinstance(self.execution_time, bool):
+            raise GraphError(
+                f"actor {self.name!r}: execution time must be int, got {type(self.execution_time).__name__}"
+            )
+        if self.execution_time < 0:
+            raise GraphError(f"actor {self.name!r}: execution time must be >= 0, got {self.execution_time}")
+
+    def add_port(self, port: Port) -> Port:
+        """Attach *port* to this actor; the name must be unused."""
+        if port.name in self.ports:
+            raise GraphError(f"actor {self.name!r} already has a port named {port.name!r}")
+        self.ports[port.name] = port
+        return port
+
+    def input_ports(self) -> list[Port]:
+        """All input ports, in insertion order."""
+        return [p for p in self.ports.values() if p.is_input]
+
+    def output_ports(self) -> list[Port]:
+        """All output ports, in insertion order."""
+        return [p for p in self.ports.values() if p.is_output]
+
+    def fresh_port_name(self, direction: PortDirection) -> str:
+        """Generate an unused port name like ``in0`` / ``out3``."""
+        prefix = direction.value
+        index = 0
+        while f"{prefix}{index}" in self.ports:
+            index += 1
+        return f"{prefix}{index}"
+
+    def copy(self) -> "Actor":
+        """Deep copy (ports are immutable, so a dict copy suffices)."""
+        return Actor(self.name, self.execution_time, dict(self.ports))
+
+    def __str__(self) -> str:
+        return f"{self.name}(t={self.execution_time})"

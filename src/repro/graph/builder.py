@@ -1,0 +1,93 @@
+"""Fluent construction of SDF graphs.
+
+Example
+-------
+The running example of the paper (Fig. 1)::
+
+    graph = (
+        GraphBuilder("example")
+        .actor("a", execution_time=1)
+        .actor("b", execution_time=2)
+        .actor("c", execution_time=2)
+        .channel("a", "b", production=2, consumption=3, name="alpha")
+        .channel("b", "c", production=1, consumption=2, name="beta")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import GraphError
+from repro.graph.graph import SDFGraph
+from repro.graph.validation import validate_graph
+
+
+class GraphBuilder:
+    """Incrementally assemble a validated :class:`SDFGraph`."""
+
+    def __init__(self, name: str = "sdf"):
+        self._graph = SDFGraph(name)
+        self._built = False
+
+    def actor(self, name: str, execution_time: int = 1) -> "GraphBuilder":
+        """Add an actor with the given execution time."""
+        self._check_open()
+        self._graph.add_actor(name, execution_time)
+        return self
+
+    def actors(self, execution_times: Mapping[str, int]) -> "GraphBuilder":
+        """Add several actors from a ``{name: execution_time}`` mapping."""
+        self._check_open()
+        for name, time in execution_times.items():
+            self._graph.add_actor(name, time)
+        return self
+
+    def channel(
+        self,
+        source: str,
+        destination: str,
+        production: int = 1,
+        consumption: int = 1,
+        initial_tokens: int = 0,
+        name: str | None = None,
+    ) -> "GraphBuilder":
+        """Add a channel; rates default to 1 (homogeneous edge)."""
+        self._check_open()
+        self._graph.add_channel(source, destination, production, consumption, initial_tokens, name)
+        return self
+
+    def chain(self, *actors: str, production: int = 1, consumption: int = 1) -> "GraphBuilder":
+        """Connect consecutive actors with uniform-rate channels."""
+        self._check_open()
+        if len(actors) < 2:
+            raise GraphError("chain() needs at least two actors")
+        for src, dst in zip(actors, actors[1:]):
+            self._graph.add_channel(src, dst, production, consumption)
+        return self
+
+    def self_loop(self, actor: str, tokens: int = 1, name: str | None = None) -> "GraphBuilder":
+        """Add a rate-1 self-loop with *tokens* initial tokens.
+
+        A token-1 self-loop is the standard encoding of "no
+        auto-concurrency" when exporting to tools whose semantics allow
+        auto-concurrent firings; the execution engine of this library
+        forbids auto-concurrency natively, so self-loops are only needed
+        to model explicit state.
+        """
+        self._check_open()
+        self._graph.add_channel(actor, actor, 1, 1, tokens, name)
+        return self
+
+    def build(self, validate: bool = True) -> SDFGraph:
+        """Finish construction, optionally running structural validation."""
+        self._check_open()
+        if validate:
+            validate_graph(self._graph)
+        self._built = True
+        return self._graph
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise GraphError("builder already produced its graph; create a new GraphBuilder")

@@ -1,0 +1,69 @@
+"""SDF channels.
+
+A channel is an unbounded (until a storage distribution is imposed)
+FIFO edge from one actor's output port to another actor's input port.
+It may contain *initial tokens* present before execution starts; these
+are essential for expressing feedback loops and pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A FIFO edge of an SDF graph.
+
+    Parameters
+    ----------
+    name:
+        Channel name, unique within the graph.
+    source:
+        Name of the producing actor.
+    destination:
+        Name of the consuming actor.
+    production:
+        Tokens produced per firing of the source actor (rate of the
+        source port).
+    consumption:
+        Tokens consumed per firing of the destination actor (rate of the
+        destination port).
+    initial_tokens:
+        Number of tokens on the channel at time zero.
+    source_port / destination_port:
+        Names of the connected ports on the endpoint actors.
+    """
+
+    name: str
+    source: str
+    destination: str
+    production: int
+    consumption: int
+    initial_tokens: int = 0
+    source_port: str = ""
+    destination_port: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("channel name must be non-empty")
+        for label, rate in (("production", self.production), ("consumption", self.consumption)):
+            if not isinstance(rate, int) or isinstance(rate, bool):
+                raise GraphError(f"channel {self.name!r}: {label} rate must be int")
+            if rate <= 0:
+                raise GraphError(f"channel {self.name!r}: {label} rate must be positive, got {rate}")
+        if not isinstance(self.initial_tokens, int) or isinstance(self.initial_tokens, bool):
+            raise GraphError(f"channel {self.name!r}: initial tokens must be int")
+        if self.initial_tokens < 0:
+            raise GraphError(f"channel {self.name!r}: initial tokens must be >= 0, got {self.initial_tokens}")
+
+    @property
+    def is_self_loop(self) -> bool:
+        """Whether source and destination are the same actor."""
+        return self.source == self.destination
+
+    def __str__(self) -> str:
+        tokens = f" [{self.initial_tokens} tok]" if self.initial_tokens else ""
+        return f"{self.name}: {self.source} -{self.production}-> {self.consumption}- {self.destination}{tokens}"

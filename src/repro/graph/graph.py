@@ -1,0 +1,289 @@
+"""The :class:`SDFGraph` container.
+
+An SDF graph is a pair ``(A, C)`` of actors and channels (Sec. 2).  The
+container keeps both in insertion order, which fixes the index layout
+used throughout the execution engine: actor ``i`` / channel ``j`` always
+refer to the same positions in state vectors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.exceptions import GraphError
+from repro.graph.actor import Actor
+from repro.graph.channel import Channel
+from repro.graph.port import Port, PortDirection
+
+
+class SDFGraph:
+    """A Synchronous Dataflow graph.
+
+    Instances are usually created through
+    :class:`~repro.graph.builder.GraphBuilder`; direct use of
+    :meth:`add_actor` / :meth:`add_channel` is supported for
+    programmatic construction.
+
+    The class maintains per-actor adjacency (incoming / outgoing
+    channels) and stable integer indices for actors and channels, which
+    the execution engine relies on.
+    """
+
+    def __init__(self, name: str = "sdf"):
+        if not name:
+            raise GraphError("graph name must be non-empty")
+        self.name = name
+        self._actors: dict[str, Actor] = {}
+        self._channels: dict[str, Channel] = {}
+        self._outgoing: dict[str, list[Channel]] = {}
+        self._incoming: dict[str, list[Channel]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_actor(self, actor: Actor | str, execution_time: int | None = None) -> Actor:
+        """Add an actor, given either an :class:`Actor` or a name.
+
+        When a name is given, *execution_time* defaults to 1.
+        """
+        if isinstance(actor, str):
+            actor = Actor(actor, 1 if execution_time is None else execution_time)
+        elif execution_time is not None:
+            raise GraphError("execution_time may only be given together with an actor name")
+        if actor.name in self._actors:
+            raise GraphError(f"duplicate actor name {actor.name!r}")
+        self._actors[actor.name] = actor
+        self._outgoing[actor.name] = []
+        self._incoming[actor.name] = []
+        return actor
+
+    def add_channel(
+        self,
+        source: str,
+        destination: str,
+        production: int,
+        consumption: int,
+        initial_tokens: int = 0,
+        name: str | None = None,
+    ) -> Channel:
+        """Connect *source* to *destination* with the given rates.
+
+        Ports are created automatically on both endpoint actors.  The
+        channel name defaults to ``ch<k>`` with ``k`` the current channel
+        count.
+        """
+        if source not in self._actors:
+            raise GraphError(f"unknown source actor {source!r}")
+        if destination not in self._actors:
+            raise GraphError(f"unknown destination actor {destination!r}")
+        if name is None:
+            index = len(self._channels)
+            while f"ch{index}" in self._channels:
+                index += 1
+            name = f"ch{index}"
+        if name in self._channels:
+            raise GraphError(f"duplicate channel name {name!r}")
+
+        src_actor = self._actors[source]
+        dst_actor = self._actors[destination]
+        src_port = src_actor.add_port(
+            Port(src_actor.fresh_port_name(PortDirection.OUTPUT), PortDirection.OUTPUT, production)
+        )
+        dst_port = dst_actor.add_port(
+            Port(dst_actor.fresh_port_name(PortDirection.INPUT), PortDirection.INPUT, consumption)
+        )
+        channel = Channel(
+            name=name,
+            source=source,
+            destination=destination,
+            production=production,
+            consumption=consumption,
+            initial_tokens=initial_tokens,
+            source_port=src_port.name,
+            destination_port=dst_port.name,
+        )
+        self._channels[name] = channel
+        self._outgoing[source].append(channel)
+        self._incoming[destination].append(channel)
+        return channel
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def actors(self) -> Mapping[str, Actor]:
+        """Actors by name, in insertion order."""
+        return self._actors
+
+    @property
+    def channels(self) -> Mapping[str, Channel]:
+        """Channels by name, in insertion order."""
+        return self._channels
+
+    def actor(self, name: str) -> Actor:
+        """The actor called *name*; raises :class:`GraphError` if absent."""
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise GraphError(f"unknown actor {name!r}") from None
+
+    def channel(self, name: str) -> Channel:
+        """The channel called *name*; raises :class:`GraphError` if absent."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise GraphError(f"unknown channel {name!r}") from None
+
+    def outgoing(self, actor: str) -> list[Channel]:
+        """Channels produced onto by *actor* (insertion order)."""
+        if actor not in self._outgoing:
+            raise GraphError(f"unknown actor {actor!r}")
+        return list(self._outgoing[actor])
+
+    def incoming(self, actor: str) -> list[Channel]:
+        """Channels consumed from by *actor* (insertion order)."""
+        if actor not in self._incoming:
+            raise GraphError(f"unknown actor {actor!r}")
+        return list(self._incoming[actor])
+
+    @property
+    def actor_names(self) -> list[str]:
+        """Actor names in index order."""
+        return list(self._actors)
+
+    @property
+    def channel_names(self) -> list[str]:
+        """Channel names in index order."""
+        return list(self._channels)
+
+    def actor_index(self, name: str) -> int:
+        """Stable integer index of actor *name*."""
+        try:
+            return self.actor_names.index(name)
+        except ValueError:
+            raise GraphError(f"unknown actor {name!r}") from None
+
+    def channel_index(self, name: str) -> int:
+        """Stable integer index of channel *name*."""
+        try:
+            return self.channel_names.index(name)
+        except ValueError:
+            raise GraphError(f"unknown channel {name!r}") from None
+
+    @property
+    def num_actors(self) -> int:
+        """``|A|``."""
+        return len(self._actors)
+
+    @property
+    def num_channels(self) -> int:
+        """``|C|``."""
+        return len(self._channels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._actors or name in self._channels
+
+    def __iter__(self) -> Iterator[Actor]:
+        return iter(self._actors.values())
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    # ------------------------------------------------------------------
+    # Derivatives
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "SDFGraph":
+        """Structural deep copy, optionally renamed."""
+        clone = SDFGraph(name or self.name)
+        for actor in self._actors.values():
+            clone.add_actor(Actor(actor.name, actor.execution_time))
+        for channel in self._channels.values():
+            clone.add_channel(
+                channel.source,
+                channel.destination,
+                channel.production,
+                channel.consumption,
+                channel.initial_tokens,
+                name=channel.name,
+            )
+        return clone
+
+    def with_execution_times(self, times: Mapping[str, int]) -> "SDFGraph":
+        """A copy in which the listed actors get new execution times."""
+        clone = self.copy()
+        for actor_name, time in times.items():
+            actor = clone.actor(actor_name)
+            clone._actors[actor_name] = Actor(actor.name, time, dict(actor.ports))
+        return clone
+
+    def with_initial_tokens(self, tokens: Mapping[str, int]) -> "SDFGraph":
+        """A copy in which the listed channels get new initial tokens."""
+        clone = SDFGraph(self.name)
+        for actor in self._actors.values():
+            clone.add_actor(Actor(actor.name, actor.execution_time))
+        for channel in self._channels.values():
+            clone.add_channel(
+                channel.source,
+                channel.destination,
+                channel.production,
+                channel.consumption,
+                tokens.get(channel.name, channel.initial_tokens),
+                name=channel.name,
+            )
+        return clone
+
+    def to_networkx(self):
+        """A :class:`networkx.MultiDiGraph` view (channels as edges)."""
+        import networkx as nx
+
+        nxg = nx.MultiDiGraph(name=self.name)
+        for actor in self._actors.values():
+            nxg.add_node(actor.name, execution_time=actor.execution_time)
+        for channel in self._channels.values():
+            nxg.add_edge(
+                channel.source,
+                channel.destination,
+                key=channel.name,
+                production=channel.production,
+                consumption=channel.consumption,
+                initial_tokens=channel.initial_tokens,
+            )
+        return nxg
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line human-readable description of the graph."""
+        lines = [f"SDFGraph {self.name!r}: {self.num_actors} actors, {self.num_channels} channels"]
+        for actor in self._actors.values():
+            lines.append(f"  actor   {actor}")
+        for channel in self._channels.values():
+            lines.append(f"  channel {channel}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"SDFGraph({self.name!r}, actors={self.num_actors}, channels={self.num_channels})"
+
+
+def merge_graphs(graphs: Iterable[SDFGraph], name: str = "merged") -> SDFGraph:
+    """Disjoint union of several SDF graphs.
+
+    Actor and channel names are prefixed with ``<graph name>.`` to keep
+    them unique.  Useful for multi-application analyses.
+    """
+    merged = SDFGraph(name)
+    for graph in graphs:
+        prefix = f"{graph.name}."
+        for actor in graph.actors.values():
+            merged.add_actor(Actor(prefix + actor.name, actor.execution_time))
+        for channel in graph.channels.values():
+            merged.add_channel(
+                prefix + channel.source,
+                prefix + channel.destination,
+                channel.production,
+                channel.consumption,
+                channel.initial_tokens,
+                name=prefix + channel.name,
+            )
+    return merged

@@ -1,0 +1,65 @@
+"""Rate-annotated actor ports.
+
+Every channel endpoint is a port on an actor.  A port has a direction
+(input or output) and a *rate*: the fixed number of tokens consumed from
+or produced onto the connected channel per firing.  The constant-rate
+property is what makes the dataflow graph *synchronous* (Lee &
+Messerschmitt, 1987).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+
+
+class PortDirection(enum.Enum):
+    """Direction of a port relative to its owning actor."""
+
+    INPUT = "in"
+    OUTPUT = "out"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Port:
+    """A fixed-rate connection point on an actor.
+
+    Parameters
+    ----------
+    name:
+        Port name, unique within the owning actor.
+    direction:
+        :class:`PortDirection.INPUT` or :class:`PortDirection.OUTPUT`.
+    rate:
+        Number of tokens moved per firing; must be a positive integer.
+    """
+
+    name: str
+    direction: PortDirection
+    rate: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("port name must be non-empty")
+        if not isinstance(self.rate, int) or isinstance(self.rate, bool):
+            raise GraphError(f"port {self.name!r}: rate must be int, got {type(self.rate).__name__}")
+        if self.rate <= 0:
+            raise GraphError(f"port {self.name!r}: rate must be positive, got {self.rate}")
+
+    @property
+    def is_input(self) -> bool:
+        """Whether this port consumes tokens."""
+        return self.direction is PortDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        """Whether this port produces tokens."""
+        return self.direction is PortDirection.OUTPUT
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.direction.value},{self.rate}]"

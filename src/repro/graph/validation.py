@@ -1,0 +1,66 @@
+"""Structural validation of SDF graphs.
+
+These checks are purely structural: rate positivity, endpoint
+existence, port/channel cross-references.  *Behavioural* sanity
+(consistency, deadlock-freedom) lives in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.graph.graph import SDFGraph
+
+
+def validate_graph(graph: SDFGraph) -> None:
+    """Raise :class:`ValidationError` when *graph* is malformed.
+
+    Checks performed:
+
+    * at least one actor;
+    * every channel endpoint names an existing actor;
+    * channel port references resolve and have the matching direction
+      and rate;
+    * no actor port is shared between two channels.
+    """
+    if graph.num_actors == 0:
+        raise ValidationError(f"graph {graph.name!r} has no actors")
+
+    used_ports: set[tuple[str, str]] = set()
+    for channel in graph.channels.values():
+        if channel.source not in graph.actors:
+            raise ValidationError(f"channel {channel.name!r}: unknown source actor {channel.source!r}")
+        if channel.destination not in graph.actors:
+            raise ValidationError(
+                f"channel {channel.name!r}: unknown destination actor {channel.destination!r}"
+            )
+        _check_port(graph, channel.name, channel.source, channel.source_port, channel.production, output=True)
+        _check_port(
+            graph, channel.name, channel.destination, channel.destination_port, channel.consumption, output=False
+        )
+        for endpoint in ((channel.source, channel.source_port), (channel.destination, channel.destination_port)):
+            if endpoint in used_ports:
+                raise ValidationError(
+                    f"port {endpoint[1]!r} of actor {endpoint[0]!r} is connected to more than one channel"
+                )
+            used_ports.add(endpoint)
+
+
+def _check_port(
+    graph: SDFGraph, channel_name: str, actor_name: str, port_name: str, rate: int, output: bool
+) -> None:
+    actor = graph.actor(actor_name)
+    port = actor.ports.get(port_name)
+    if port is None:
+        raise ValidationError(
+            f"channel {channel_name!r}: actor {actor_name!r} has no port {port_name!r}"
+        )
+    if port.is_output != output:
+        expected = "output" if output else "input"
+        raise ValidationError(
+            f"channel {channel_name!r}: port {port_name!r} of {actor_name!r} is not an {expected} port"
+        )
+    if port.rate != rate:
+        raise ValidationError(
+            f"channel {channel_name!r}: rate mismatch on port {port_name!r} of {actor_name!r}"
+            f" (port says {port.rate}, channel says {rate})"
+        )

@@ -1,0 +1,26 @@
+"""Reading and writing SDF graphs.
+
+The paper's tool ``buffy`` "takes an XML description of an SDF graph
+as input" (Sec. 10).  This package provides that XML dialect (a
+compatible subset of the SDF3 format), a plain JSON format, and DOT
+export for visualisation.
+"""
+
+from repro.io.dot import to_dot
+from repro.io.jsonio import graph_from_dict, graph_to_dict, read_json, write_json
+from repro.io.sdfxml import read_xml, read_xml_string, write_xml, write_xml_string
+from repro.io.vcd import schedule_to_vcd, states_to_vcd
+
+__all__ = [
+    "graph_from_dict",
+    "graph_to_dict",
+    "read_json",
+    "read_xml",
+    "read_xml_string",
+    "schedule_to_vcd",
+    "states_to_vcd",
+    "to_dot",
+    "write_json",
+    "write_xml",
+    "write_xml_string",
+]

@@ -1,0 +1,94 @@
+"""JSON format for cyclo-static dataflow graphs.
+
+Mirrors :mod:`repro.io.jsonio` with per-phase rate lists::
+
+    {
+      "name": "decimator",
+      "model": "csdf",
+      "actors": [{"name": "decim", "execution_times": [2, 1]}, ...],
+      "channels": [
+        {"name": "b", "source": "decim", "destination": "snk",
+         "productions": [1, 0], "consumptions": [1],
+         "initial_tokens": 0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.csdf.graph import CSDFGraph
+from repro.exceptions import ParseError
+
+
+def csdf_to_dict(graph: CSDFGraph) -> dict:
+    """Serialise *graph* to a JSON-compatible dictionary."""
+    return {
+        "name": graph.name,
+        "model": "csdf",
+        "actors": [
+            {"name": actor.name, "execution_times": list(actor.execution_times)}
+            for actor in graph.actors.values()
+        ],
+        "channels": [
+            {
+                "name": channel.name,
+                "source": channel.source,
+                "destination": channel.destination,
+                "productions": list(channel.productions),
+                "consumptions": list(channel.consumptions),
+                "initial_tokens": channel.initial_tokens,
+            }
+            for channel in graph.channels.values()
+        ],
+    }
+
+
+def csdf_from_dict(data: Mapping) -> CSDFGraph:
+    """Reconstruct a :class:`CSDFGraph` from :func:`csdf_to_dict` output.
+
+    Scalar rates and execution times are accepted and treated as
+    single-phase sequences, so plain-SDF JSON files load as one-phase
+    CSDF graphs.
+    """
+
+    def as_sequence(value) -> tuple[int, ...]:
+        if isinstance(value, int):
+            return (value,)
+        return tuple(int(entry) for entry in value)
+
+    try:
+        graph = CSDFGraph(data.get("name", "csdf"))
+        for actor in data["actors"]:
+            times = actor.get("execution_times", actor.get("execution_time", 1))
+            graph.add_actor(actor["name"], as_sequence(times))
+        for channel in data["channels"]:
+            graph.add_channel(
+                channel["source"],
+                channel["destination"],
+                as_sequence(channel.get("productions", channel.get("production", 1))),
+                as_sequence(channel.get("consumptions", channel.get("consumption", 1))),
+                int(channel.get("initial_tokens", 0)),
+                channel.get("name"),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ParseError(f"malformed CSDF graph dictionary: {error}") from error
+    return graph
+
+
+def write_csdf_json(graph: CSDFGraph, path: str | Path) -> None:
+    """Write *graph* to *path* as JSON."""
+    Path(path).write_text(json.dumps(csdf_to_dict(graph), indent=2) + "\n", encoding="utf-8")
+
+
+def read_csdf_json(path: str | Path) -> CSDFGraph:
+    """Read a CSDF JSON file written by :func:`write_csdf_json`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ParseError(f"malformed JSON: {error}") from error
+    return csdf_from_dict(data)

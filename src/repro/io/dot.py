@@ -1,0 +1,34 @@
+"""Graphviz DOT export.
+
+Renders SDF graphs the way the paper draws them: execution times above
+the actors, port rates as edge-end labels and initial tokens as a dot
+annotation on the channel.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import SDFGraph
+
+
+def to_dot(graph: SDFGraph, *, rankdir: str = "LR") -> str:
+    """A DOT digraph for *graph*."""
+    lines = [
+        f"digraph \"{graph.name}\" {{",
+        f"  rankdir={rankdir};",
+        "  node [shape=circle];",
+    ]
+    for actor in graph.actors.values():
+        lines.append(
+            f"  \"{actor.name}\" [label=\"{actor.name}\\nt={actor.execution_time}\"];"
+        )
+    for channel in graph.channels.values():
+        label = channel.name
+        if channel.initial_tokens:
+            label += f" ({channel.initial_tokens}•)"
+        lines.append(
+            f"  \"{channel.source}\" -> \"{channel.destination}\""
+            f" [label=\"{label}\", taillabel=\"{channel.production}\","
+            f" headlabel=\"{channel.consumption}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

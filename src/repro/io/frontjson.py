@@ -1,0 +1,61 @@
+"""JSON export of exploration results.
+
+Downstream tools (mappers, code generators, dashboards) consume the
+Pareto front; this module serialises a
+:class:`~repro.buffers.explorer.DesignSpaceResult` (or a bare front)
+to a stable JSON document.  Throughputs are exact fractions rendered
+as ``"p/q"`` strings to avoid floating-point loss; a ``float``
+rendering is included for convenience.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+
+from repro.buffers.explorer import DesignSpaceResult
+from repro.buffers.pareto import ParetoFront
+
+
+def front_to_dict(front: ParetoFront) -> list[dict]:
+    """Serialise the Pareto points with all witnesses."""
+    return [
+        {
+            "size": point.size,
+            "throughput": str(point.throughput),
+            "throughput_float": float(point.throughput),
+            "witnesses": [dict(witness) for witness in point.witnesses],
+        }
+        for point in front
+    ]
+
+
+def result_to_dict(result: DesignSpaceResult) -> dict:
+    """Serialise a full exploration result."""
+    return {
+        "graph": result.graph_name,
+        "observe": result.observe,
+        "max_throughput": str(result.max_throughput),
+        "lower_bounds": dict(result.lower_bounds),
+        "upper_bounds": dict(result.upper_bounds),
+        "pareto_front": front_to_dict(result.front),
+        "stats": {
+            "strategy": result.stats.strategy,
+            "evaluations": result.stats.evaluations,
+            "max_states_stored": result.stats.max_states_stored,
+            "wall_time_s": result.stats.wall_time_s,
+        },
+    }
+
+
+def write_result_json(result: DesignSpaceResult, path: str | Path) -> None:
+    """Write an exploration result to *path* as JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def parse_throughput(value: str) -> Fraction:
+    """Inverse of the ``"p/q"`` rendering used in the export."""
+    return Fraction(value)

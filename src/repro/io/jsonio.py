@@ -1,0 +1,81 @@
+"""Plain JSON / dict graph format.
+
+A minimal, stable exchange format::
+
+    {
+      "name": "example",
+      "actors": [{"name": "a", "execution_time": 1}, ...],
+      "channels": [
+        {"name": "alpha", "source": "a", "destination": "b",
+         "production": 2, "consumption": 3, "initial_tokens": 0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.exceptions import ParseError
+from repro.graph.graph import SDFGraph
+from repro.graph.validation import validate_graph
+
+
+def graph_to_dict(graph: SDFGraph) -> dict:
+    """Serialise *graph* to a JSON-compatible dictionary."""
+    return {
+        "name": graph.name,
+        "actors": [
+            {"name": actor.name, "execution_time": actor.execution_time}
+            for actor in graph.actors.values()
+        ],
+        "channels": [
+            {
+                "name": channel.name,
+                "source": channel.source,
+                "destination": channel.destination,
+                "production": channel.production,
+                "consumption": channel.consumption,
+                "initial_tokens": channel.initial_tokens,
+            }
+            for channel in graph.channels.values()
+        ],
+    }
+
+
+def graph_from_dict(data: Mapping) -> SDFGraph:
+    """Reconstruct an :class:`SDFGraph` from :func:`graph_to_dict` output."""
+    try:
+        graph = SDFGraph(data.get("name", "sdf"))
+        for actor in data["actors"]:
+            graph.add_actor(actor["name"], int(actor.get("execution_time", 1)))
+        for channel in data["channels"]:
+            graph.add_channel(
+                channel["source"],
+                channel["destination"],
+                int(channel.get("production", 1)),
+                int(channel.get("consumption", 1)),
+                int(channel.get("initial_tokens", 0)),
+                channel.get("name"),
+            )
+    except (KeyError, TypeError) as error:
+        raise ParseError(f"malformed graph dictionary: {error}") from error
+    validate_graph(graph)
+    return graph
+
+
+def write_json(graph: SDFGraph, path: str | Path) -> None:
+    """Write *graph* to *path* as JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2) + "\n", encoding="utf-8")
+
+
+def read_json(path: str | Path) -> SDFGraph:
+    """Read a JSON graph file written by :func:`write_json`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ParseError(f"malformed JSON: {error}") from error
+    return graph_from_dict(data)

@@ -1,0 +1,102 @@
+"""Value-Change-Dump (VCD) export of execution traces.
+
+Schedules and state sequences can be inspected in any waveform viewer
+(GTKWave etc.): each actor becomes a 1-bit "busy" wire driven by its
+firings, and each channel an integer signal carrying its token count.
+One VCD time unit is one SDF time step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.engine.schedule import Schedule
+from repro.engine.state import SDFState
+from repro.graph.graph import SDFGraph
+
+#: Printable VCD identifier characters (short codes for signals).
+_ID_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """A compact VCD identifier for signal *index*."""
+    code = ""
+    index += 1
+    while index > 0:
+        index, digit = divmod(index - 1, len(_ID_ALPHABET))
+        code = _ID_ALPHABET[digit] + code
+    return code
+
+
+def schedule_to_vcd(schedule: Schedule, until: int | None = None) -> str:
+    """Render *schedule* as a VCD document with one busy-wire per actor.
+
+    Zero-duration firings appear as a 1-0 pulse within one time unit
+    (the fall is emitted at the same timestamp).
+    """
+    names = schedule.graph.actor_names
+    identifiers = {name: _identifier(index) for index, name in enumerate(names)}
+    horizon = schedule.horizon if until is None else min(until, schedule.horizon)
+
+    lines = [
+        "$comment repro SDF schedule trace $end",
+        "$timescale 1 ns $end",
+        f"$scope module {schedule.graph.name} $end",
+    ]
+    for name in names:
+        lines.append(f"$var wire 1 {identifiers[name]} busy_{name} $end")
+    lines += ["$upscope $end", "$enddefinitions $end", "#0"]
+    for name in names:
+        lines.append(f"0{identifiers[name]}")
+
+    # Collect transitions: +1 at start, -1 at end (nested levels can't
+    # occur — no auto-concurrency — so busy is simply start<=t<end).
+    changes: dict[int, list[str]] = {}
+    for event in schedule.events:
+        if event.start >= horizon and event.start != event.end:
+            continue
+        changes.setdefault(event.start, []).append(f"1{identifiers[event.actor]}")
+        changes.setdefault(min(event.end, horizon) if event.duration else event.start, []).append(
+            f"0{identifiers[event.actor]}"
+        )
+    for timestamp in sorted(changes):
+        lines.append(f"#{timestamp}")
+        lines.extend(changes[timestamp])
+    if horizon not in changes:
+        lines.append(f"#{horizon}")
+    return "\n".join(lines) + "\n"
+
+
+def states_to_vcd(graph: SDFGraph, states: Sequence[SDFState]) -> str:
+    """Render a tick-state sequence as VCD integer token-count signals.
+
+    Pairs naturally with
+    :meth:`repro.engine.executor.Executor.explore_full_state_space`,
+    whose result is one state per time step.
+    """
+    channels = graph.channel_names
+    identifiers = {name: _identifier(index) for index, name in enumerate(channels)}
+
+    lines = [
+        "$comment repro SDF token-count trace $end",
+        "$timescale 1 ns $end",
+        f"$scope module {graph.name} $end",
+    ]
+    for name in channels:
+        lines.append(f"$var integer 32 {identifiers[name]} tokens_{name} $end")
+    lines += ["$upscope $end", "$enddefinitions $end"]
+
+    previous: dict[str, int] = {}
+    for step, state in enumerate(states):
+        changed = [
+            (name, tokens)
+            for name, tokens in zip(channels, state.tokens)
+            if previous.get(name) != tokens
+        ]
+        if changed:
+            lines.append(f"#{step}")
+            for name, tokens in changed:
+                lines.append(f"b{tokens:b} {identifiers[name]}")
+                previous[name] = tokens
+    lines.append(f"#{len(states)}")
+    return "\n".join(lines) + "\n"

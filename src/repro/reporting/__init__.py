@@ -1,0 +1,35 @@
+"""Rendering of the paper's tables and figures as text artefacts.
+
+* :mod:`repro.reporting.tables` — Table-1-style schedule Gantt charts
+  and the Table-2 experiment summary;
+* :mod:`repro.reporting.plots` — ASCII Pareto-space charts in the
+  style of Figs. 5 and 13;
+* :mod:`repro.reporting.records` — paper-vs-measured experiment
+  records used by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.reporting.periodic import (
+    PeriodicPattern,
+    render_pattern,
+    steady_state_pattern,
+    verify_pattern_counts,
+)
+from repro.reporting.plots import ascii_pareto
+from repro.reporting.records import ExperimentRecord, render_records
+from repro.reporting.svg import schedule_to_svg
+from repro.reporting.tables import render_table, schedule_table, table2_row, table2
+
+__all__ = [
+    "ExperimentRecord",
+    "PeriodicPattern",
+    "ascii_pareto",
+    "render_pattern",
+    "render_records",
+    "render_table",
+    "schedule_table",
+    "schedule_to_svg",
+    "steady_state_pattern",
+    "table2",
+    "table2_row",
+    "verify_pattern_counts",
+]

@@ -1,0 +1,96 @@
+"""Extraction of the steady-state periodic schedule pattern.
+
+Sec. 4 of the paper: every schedule of a consistent graph consists of
+a transient phase followed by a periodic phase that repeats forever
+("the schedule from time step 3 to time step 9 is repeated
+indefinitely").  When a Pareto point is found, the paper's tool
+generates that schedule; this module extracts and renders it — the
+transient length, the period, and one period's firing pattern with
+offsets relative to the period start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.analysis.repetitions import repetition_vector
+from repro.engine.executor import Executor
+from repro.exceptions import DeadlockError
+from repro.graph.graph import SDFGraph
+from repro.reporting.tables import render_table
+
+
+@dataclass(frozen=True)
+class PeriodicFiring:
+    """One firing of the repeating pattern, relative to the period start."""
+
+    actor: str
+    offset: int
+    duration: int
+
+
+@dataclass(frozen=True)
+class PeriodicPattern:
+    """The steady-state schedule: transient prefix + repeating pattern."""
+
+    period: int
+    transient_until: int
+    firings: tuple[PeriodicFiring, ...]
+
+    def firings_of(self, actor: str) -> list[PeriodicFiring]:
+        """The pattern's firings of *actor*."""
+        return [firing for firing in self.firings if firing.actor == actor]
+
+
+def steady_state_pattern(
+    graph: SDFGraph,
+    capacities: Mapping[str, int] | None,
+    observe: str | None = None,
+) -> PeriodicPattern:
+    """Execute and extract the repeating firing pattern.
+
+    Raises :class:`DeadlockError` when the execution deadlocks (a
+    deadlocked run has no periodic phase).
+    """
+    result = Executor(graph, capacities, observe, record_schedule=True).run()
+    if result.deadlocked:
+        raise DeadlockError(
+            "the execution deadlocks; there is no periodic schedule", result.deadlock_time
+        )
+    start = result.cycle_start_time
+    period = result.cycle_duration
+    assert result.schedule is not None
+    firings = tuple(
+        PeriodicFiring(event.actor, event.start - start, event.duration)
+        for event in result.schedule.events
+        if start <= event.start < start + period
+    )
+    return PeriodicPattern(period=period, transient_until=start, firings=firings)
+
+
+def verify_pattern_counts(graph: SDFGraph, pattern: PeriodicPattern) -> None:
+    """Check the pattern contains repetition-vector-proportional firings.
+
+    Within one period every actor fires ``k * q[a]`` times for a
+    common integer ``k`` (the number of graph iterations per period).
+    Raises :class:`AssertionError` otherwise — used by tests and
+    available as a sanity check for applications.
+    """
+    q = repetition_vector(graph)
+    counts = {name: len(pattern.firings_of(name)) for name in graph.actor_names}
+    ratios = {name: counts[name] / q[name] for name in graph.actor_names}
+    assert len(set(ratios.values())) == 1, f"unbalanced period: {counts} vs q={q}"
+    k = next(iter(ratios.values()))
+    assert k == int(k) and k >= 1, f"period covers a fractional iteration count {k}"
+
+
+def render_pattern(pattern: PeriodicPattern) -> str:
+    """Render the pattern as an aligned text table."""
+    rows = [["actor", "offset", "duration"]]
+    for firing in sorted(pattern.firings, key=lambda f: (f.offset, f.actor)):
+        rows.append([firing.actor, str(firing.offset), str(firing.duration)])
+    header = (
+        f"transient until t={pattern.transient_until}; then every {pattern.period} steps:"
+    )
+    return header + "\n" + render_table(rows)

@@ -1,0 +1,73 @@
+"""ASCII charts of the storage/throughput Pareto space (Figs. 5, 13).
+
+The feasible region lies on and to the right of the staircase; every
+``o`` is a Pareto point (a minimal storage distribution).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.buffers.pareto import ParetoFront
+
+
+def ascii_pareto(
+    front: ParetoFront,
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render *front* as an ASCII staircase chart.
+
+    The x axis is the distribution size, the y axis the throughput.
+    """
+    points = front.points
+    if not points:
+        return "(empty Pareto front — the graph deadlocks at every size)\n"
+
+    min_size = points[0].size
+    max_size = points[-1].size
+    max_thr = points[-1].throughput
+    size_span = max(max_size - min_size, 1)
+    thr_span = max_thr if max_thr > 0 else Fraction(1)
+
+    def column(size: int) -> int:
+        return round((size - min_size) / size_span * (width - 1))
+
+    def row(thr: Fraction) -> int:
+        return (height - 1) - round(thr / thr_span * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Staircase: horizontal segment at each point's level up to the
+    # next point's column.
+    for index, point in enumerate(points):
+        r = row(point.throughput)
+        c_start = column(point.size)
+        c_end = column(points[index + 1].size) if index + 1 < len(points) else width - 1
+        for c in range(c_start, c_end + 1):
+            if grid[r][c] == " ":
+                grid[r][c] = "-"
+        if index + 1 < len(points):
+            r_next = row(points[index + 1].throughput)
+            for rr in range(min(r, r_next), max(r, r_next) + 1):
+                if grid[rr][c_end] == " ":
+                    grid[rr][c_end] = "|"
+        grid[r][c_start] = "o"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{max_thr} -"
+    pad = len(top_label)
+    for r, row_cells in enumerate(grid):
+        prefix = top_label if r == 0 else " " * pad
+        lines.append(prefix + "".join(row_cells))
+    axis = " " * pad + "+" + "-" * (width - 1)
+    lines.append(axis)
+    left = str(min_size)
+    right = str(max_size)
+    gap = max(width - len(left) - len(right), 1)
+    lines.append(" " * pad + left + " " * gap + right)
+    lines.append(" " * pad + "distribution size (tokens)")
+    return "\n".join(lines) + "\n"

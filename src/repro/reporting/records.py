@@ -1,0 +1,35 @@
+"""Paper-vs-measured experiment records.
+
+The benchmark harness emits one :class:`ExperimentRecord` per
+reproduced table/figure quantity; EXPERIMENTS.md is the curated,
+committed rendering of the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.reporting.tables import render_table
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One reproduced quantity with its paper counterpart."""
+
+    experiment: str
+    quantity: str
+    paper: str
+    measured: str
+    match: str = ""
+    note: str = ""
+
+
+def render_records(records: Sequence[ExperimentRecord]) -> str:
+    """Render records as an aligned text table."""
+    rows: list[list[str]] = [["experiment", "quantity", "paper", "measured", "match", "note"]]
+    for record in records:
+        rows.append(
+            [record.experiment, record.quantity, record.paper, record.measured, record.match, record.note]
+        )
+    return render_table(rows)

@@ -1,0 +1,76 @@
+"""SVG Gantt rendering of schedules.
+
+A self-contained SVG document with one row per actor and one rectangle
+per firing — the graphical version of the paper's Table 1, viewable in
+any browser.  No third-party dependencies; plain string templating.
+"""
+
+from __future__ import annotations
+
+from repro.engine.schedule import Schedule
+
+#: Fill colours cycled over actors (a colour-blind-safe palette).
+_PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb")
+
+_ROW_HEIGHT = 28
+_BAR_HEIGHT = 20
+_LEFT_MARGIN = 90
+_TOP_MARGIN = 30
+_STEP_WIDTH = 22
+
+
+def schedule_to_svg(schedule: Schedule, until: int | None = None, title: str | None = None) -> str:
+    """Render *schedule* as an SVG Gantt chart.
+
+    ``until`` truncates the time axis; zero-duration firings appear as
+    thin ticks.
+    """
+    names = schedule.graph.actor_names
+    horizon = schedule.horizon if until is None else min(until, schedule.horizon)
+    width = _LEFT_MARGIN + horizon * _STEP_WIDTH + 20
+    height = _TOP_MARGIN + len(names) * _ROW_HEIGHT + 30
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}"'
+        f' font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{_LEFT_MARGIN}" y="18" font-weight="bold">{title}</text>')
+
+    # Grid and axis labels.
+    for step in range(horizon + 1):
+        x = _LEFT_MARGIN + step * _STEP_WIDTH
+        parts.append(
+            f'<line x1="{x}" y1="{_TOP_MARGIN}" x2="{x}"'
+            f' y2="{_TOP_MARGIN + len(names) * _ROW_HEIGHT}" stroke="#dddddd"/>'
+        )
+        if step % max(1, horizon // 16) == 0:
+            parts.append(
+                f'<text x="{x}" y="{_TOP_MARGIN + len(names) * _ROW_HEIGHT + 16}"'
+                f' text-anchor="middle" fill="#555555">{step}</text>'
+            )
+
+    for row, name in enumerate(names):
+        y = _TOP_MARGIN + row * _ROW_HEIGHT
+        parts.append(
+            f'<text x="{_LEFT_MARGIN - 8}" y="{y + _BAR_HEIGHT - 4}" text-anchor="end">{name}</text>'
+        )
+        colour = _PALETTE[row % len(_PALETTE)]
+        for event in schedule.firings(name):
+            if event.start >= horizon:
+                continue
+            x = _LEFT_MARGIN + event.start * _STEP_WIDTH
+            if event.duration == 0:
+                parts.append(
+                    f'<rect x="{x - 1}" y="{y}" width="2" height="{_BAR_HEIGHT}"'
+                    f' fill="{colour}"/>'
+                )
+                continue
+            span = (min(event.end, horizon) - event.start) * _STEP_WIDTH
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{span}" height="{_BAR_HEIGHT}"'
+                f' fill="{colour}" fill-opacity="0.85" stroke="{colour}"/>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,110 @@
+"""Textual tables: schedules (Table 1) and the experiment summary (Table 2)."""
+
+from __future__ import annotations
+
+import time as _time
+from collections.abc import Mapping, Sequence
+
+from repro.buffers.explorer import DesignSpaceResult, explore_design_space
+from repro.engine.executor import Executor
+from repro.engine.schedule import Schedule
+from repro.graph.graph import SDFGraph
+
+
+def schedule_table(schedule: Schedule, until: int, actors: Sequence[str] | None = None) -> str:
+    """Render a schedule as the paper's Table 1: one row per actor,
+    one column per time step; the actor letter marks a firing start
+    and ``*`` marks continuation steps.
+    """
+    names = list(actors) if actors is not None else schedule.graph.actor_names
+    header = ["time"] + [str(step + 1) for step in range(until)]
+    rows = [header]
+    for name in names:
+        row = [name]
+        for step in range(until):
+            activity = schedule.activity(name, step)
+            if activity == "start":
+                row.append(name)
+            elif activity == "running":
+                row.append("*")
+            else:
+                row.append("")
+        rows.append(row)
+    return render_table(rows)
+
+
+def render_table(rows: Sequence[Sequence[str]]) -> str:
+    """Align a list of string rows into a fixed-width text table."""
+    if not rows:
+        return ""
+    columns = max(len(row) for row in rows)
+    widths = [0] * columns
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    for row in rows:
+        padded = [str(cell).ljust(widths[index]) for index, cell in enumerate(row)]
+        padded += ["".ljust(widths[index]) for index in range(len(row), columns)]
+        lines.append("| " + " | ".join(padded) + " |")
+    separator = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+    lines.insert(1, separator)
+    return "\n".join(lines)
+
+
+def table2_row(
+    graph: SDFGraph,
+    observe: str | None = None,
+    result: DesignSpaceResult | None = None,
+) -> dict[str, object]:
+    """One row of the paper's Table 2 for *graph*.
+
+    Runs the full design-space exploration unless a precomputed
+    *result* is passed.  Keys mirror the paper's rows: actor/channel
+    counts, minimal distribution size for positive throughput, maximal
+    throughput and its distribution size, number of Pareto points,
+    maximum stored states, and exploration wall time.
+    """
+    started = _time.perf_counter()
+    if result is None:
+        result = explore_design_space(graph, observe)
+    elapsed = _time.perf_counter() - started
+
+    first = result.front.min_positive
+    last = result.front.max_throughput_point
+    return {
+        "example": graph.name,
+        "actors": graph.num_actors,
+        "channels": graph.num_channels,
+        "min thr > 0": str(first.throughput) if first else "-",
+        "size (min)": first.size if first else "-",
+        "max thr": str(last.throughput) if last else "-",
+        "size (max)": last.size if last else "-",
+        "#pareto": len(result.front),
+        "max #states": result.stats.max_states_stored,
+        "time [s]": f"{result.stats.wall_time_s or elapsed:.2f}",
+    }
+
+
+def table2(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render Table 2 from :func:`table2_row` dictionaries.
+
+    Laid out like the paper: one column per example graph, one row per
+    metric.
+    """
+    if not rows:
+        return ""
+    metrics = [key for key in rows[0] if key != "example"]
+    table: list[list[str]] = [["" ] + [str(row["example"]) for row in rows]]
+    for metric in metrics:
+        table.append([metric] + [str(row.get(metric, "-")) for row in rows])
+    return render_table(table)
+
+
+def schedule_for(
+    graph: SDFGraph, capacities: Mapping[str, int], observe: str | None = None
+) -> Schedule:
+    """Convenience: run *graph* under *capacities* and return the schedule."""
+    result = Executor(graph, capacities, observe, record_schedule=True).run()
+    assert result.schedule is not None
+    return result.schedule

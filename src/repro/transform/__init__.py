@@ -1,0 +1,18 @@
+"""Graph transformations.
+
+* :func:`~repro.transform.hsdf_as_sdf.hsdf_as_sdf` — materialise an
+  HSDF expansion as an ordinary rate-1 SDF graph, so the execution
+  engine (and every analysis) runs on it directly; the test suite uses
+  this to cross-validate the expansion against the original graph.
+* :func:`~repro.transform.reverse.reverse_graph` — the edge-reversed
+  graph, which shares the repetition vector and consistency with the
+  original (a classical duality).
+* :func:`~repro.transform.unfold.unfold` — the J-unfolded graph whose
+  one iteration equals J iterations of the original.
+"""
+
+from repro.transform.hsdf_as_sdf import hsdf_as_sdf
+from repro.transform.reverse import reverse_graph
+from repro.transform.unfold import unfold
+
+__all__ = ["hsdf_as_sdf", "reverse_graph", "unfold"]

@@ -1,0 +1,30 @@
+"""Edge reversal.
+
+Reversing every channel (swapping producer/consumer and the two
+rates) preserves consistency and the repetition vector: the balance
+equation ``q[src]·p == q[dst]·c`` is symmetric under the swap.  Data
+now flows "backwards", so initial tokens keep their channel.  The
+reversed graph is a classical construction for reasoning about
+backward slack and appears here mainly as a property-testing tool.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import SDFGraph
+
+
+def reverse_graph(graph: SDFGraph, name: str | None = None) -> SDFGraph:
+    """The graph with every channel's direction flipped."""
+    reversed_graph = SDFGraph(name or f"{graph.name}-rev")
+    for actor in graph.actors.values():
+        reversed_graph.add_actor(actor.name, actor.execution_time)
+    for channel in graph.channels.values():
+        reversed_graph.add_channel(
+            channel.destination,
+            channel.source,
+            channel.consumption,
+            channel.production,
+            channel.initial_tokens,
+            name=channel.name,
+        )
+    return reversed_graph

@@ -1,0 +1,39 @@
+"""Graph unfolding.
+
+The J-unfolding of an SDF graph scales every channel's rates by J; one
+iteration of the unfolded graph corresponds to J iterations of the
+original (its repetition vector divides by J where possible).  With
+*actor-level* unfolding kept out of scope (it would duplicate actors),
+this rate-level unfolding is the standard trick for coarsening the
+granularity of an analysis: schedules of the unfolded graph move J
+iterations' worth of data per firing decision.
+
+Note the *timing* of the unfolded graph differs (an actor still fires
+once per J logical firings and takes one execution time), so this
+transformation is for structural analyses — repetition vectors,
+bounds, consistency — not for throughput equivalence.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.graph.graph import SDFGraph
+
+
+def unfold(graph: SDFGraph, factor: int, name: str | None = None) -> SDFGraph:
+    """Scale all channel rates (and initial tokens) by *factor*."""
+    if not isinstance(factor, int) or isinstance(factor, bool) or factor < 1:
+        raise GraphError(f"unfolding factor must be a positive int, got {factor!r}")
+    unfolded = SDFGraph(name or f"{graph.name}-x{factor}")
+    for actor in graph.actors.values():
+        unfolded.add_actor(actor.name, actor.execution_time)
+    for channel in graph.channels.values():
+        unfolded.add_channel(
+            channel.source,
+            channel.destination,
+            channel.production * factor,
+            channel.consumption * factor,
+            channel.initial_tokens * factor,
+            name=channel.name,
+        )
+    return unfolded

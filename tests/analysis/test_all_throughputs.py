@@ -1,0 +1,61 @@
+"""Unit and property tests for all_actor_throughputs."""
+
+import random
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.throughput import all_actor_throughputs, throughput
+from repro.buffers.bounds import lower_bound_distribution
+from repro.gallery.random_graphs import random_consistent_graph
+from repro.graph.builder import GraphBuilder
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def test_fig1_all_actors(fig1):
+    caps = {"alpha": 4, "beta": 2}
+    values = all_actor_throughputs(fig1, caps)
+    assert values == {
+        "a": Fraction(3, 7),
+        "b": Fraction(2, 7),
+        "c": Fraction(1, 7),
+    }
+
+
+def test_matches_direct_measurement(fig1):
+    caps = {"alpha": 6, "beta": 2}
+    values = all_actor_throughputs(fig1, caps)
+    for actor in fig1.actor_names:
+        assert values[actor] == throughput(fig1, caps, actor)
+
+
+def test_deadlock_gives_zero_everywhere(fig1):
+    values = all_actor_throughputs(fig1, {"alpha": 3, "beta": 2})
+    assert set(values.values()) == {Fraction(0)}
+
+
+def test_components_measured_independently():
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1, "x": 2, "y": 2})
+        .channel("a", "b", name="c0")
+        .channel("x", "y", name="c1")
+        .build()
+    )
+    values = all_actor_throughputs(graph, {"c0": 1, "c1": 1})
+    assert values["a"] == values["b"] == Fraction(1, 2)
+    assert values["x"] == values["y"] == Fraction(1, 4)
+
+
+@given(seeds, seeds)
+@settings(max_examples=20, deadline=None)
+def test_scaling_matches_direct_measurement_on_random_graphs(seed, slack_seed):
+    graph = random_consistent_graph(random.Random(seed), max_actors=4)
+    slack = random.Random(slack_seed)
+    lower = lower_bound_distribution(graph)
+    caps = {name: lower[name] + slack.randint(0, 3) for name in graph.channel_names}
+    values = all_actor_throughputs(graph, caps)
+    for actor in graph.actor_names:
+        assert values[actor] == throughput(graph, caps, actor)

@@ -1,0 +1,30 @@
+"""Unit tests for repro.analysis.consistency."""
+
+import pytest
+
+from repro.analysis.consistency import assert_consistent, is_consistent
+from repro.exceptions import InconsistentGraphError
+from repro.graph.builder import GraphBuilder
+
+
+def test_fig1_consistent(fig1):
+    assert is_consistent(fig1)
+    assert assert_consistent(fig1) == {"a": 3, "b": 2, "c": 1}
+
+
+def test_gallery_graphs_consistent(modem_graph, samplerate_graph, satellite_graph, h263_small):
+    for graph in (modem_graph, samplerate_graph, satellite_graph, h263_small):
+        assert is_consistent(graph)
+
+
+def test_inconsistent_graph():
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b", 1, 2)
+        .channel("b", "a", 1, 1)
+        .build()
+    )
+    assert not is_consistent(graph)
+    with pytest.raises(InconsistentGraphError):
+        assert_consistent(graph)

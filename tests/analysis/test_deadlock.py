@@ -1,0 +1,78 @@
+"""Unit tests for repro.analysis.deadlock."""
+
+import pytest
+
+from repro.analysis.deadlock import is_deadlock_free, remaining_firings_at_deadlock
+from repro.exceptions import InconsistentGraphError
+from repro.graph.builder import GraphBuilder
+
+
+def test_fig1_deadlock_free(fig1):
+    assert is_deadlock_free(fig1)
+
+
+def test_gallery_deadlock_free(modem_graph, samplerate_graph, satellite_graph, h263_small):
+    for graph in (modem_graph, samplerate_graph, satellite_graph, h263_small):
+        assert is_deadlock_free(graph)
+
+
+def test_token_free_cycle_deadlocks():
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b")
+        .channel("b", "a")
+        .build()
+    )
+    assert not is_deadlock_free(graph)
+    assert remaining_firings_at_deadlock(graph) == {"a": 1, "b": 1}
+
+
+def test_undertokened_cycle_deadlocks():
+    # The cycle needs 2 tokens for b to ever fire, but carries only 1.
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b", 1, 2)
+        .channel("b", "a", 2, 1, initial_tokens=1)
+        .build()
+    )
+    assert not is_deadlock_free(graph)
+
+
+def test_sufficient_tokens_unlock_cycle():
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b", 1, 2)
+        .channel("b", "a", 2, 1, initial_tokens=2)
+        .build()
+    )
+    assert is_deadlock_free(graph)
+
+
+def test_partial_progress_reported():
+    # a can fire, the b<->c cycle cannot.
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1, "c": 1})
+        .channel("a", "b")
+        .channel("b", "c")
+        .channel("c", "b")
+        .build()
+    )
+    stuck = remaining_firings_at_deadlock(graph)
+    assert "a" not in stuck
+    assert stuck.keys() == {"b", "c"}
+
+
+def test_inconsistent_graph_rejected():
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b", 1, 2)
+        .channel("b", "a", 1, 1)
+        .build()
+    )
+    with pytest.raises(InconsistentGraphError):
+        is_deadlock_free(graph)

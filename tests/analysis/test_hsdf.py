@@ -1,0 +1,97 @@
+"""Unit tests for repro.analysis.hsdf (SDF -> HSDF expansion)."""
+
+import pytest
+
+from repro.analysis.hsdf import to_hsdf
+from repro.analysis.repetitions import repetition_vector
+from repro.exceptions import AnalysisError
+from repro.graph.builder import GraphBuilder
+
+
+class TestExpansionShape:
+    def test_fig1_copy_counts(self, fig1):
+        hsdf = to_hsdf(fig1)
+        assert hsdf.num_nodes == 3 + 2 + 1
+        assert len(hsdf.copies("a")) == 3
+        assert len(hsdf.copies("c")) == 1
+
+    def test_node_execution_times(self, fig1):
+        hsdf = to_hsdf(fig1)
+        assert hsdf.nodes[("b", 0)] == 2
+        assert hsdf.nodes[("b", 1)] == 2
+
+    def test_homogeneous_graph_expands_to_itself(self):
+        graph = GraphBuilder().actors({"a": 1, "b": 2}).channel("a", "b").build()
+        hsdf = to_hsdf(graph, model_auto_concurrency=False)
+        assert hsdf.num_nodes == 2
+        assert hsdf.edges == {(("a", 0), ("b", 0)): 0}
+
+    def test_auto_concurrency_self_loops(self):
+        graph = GraphBuilder().actors({"a": 1, "b": 2}).channel("a", "b").build()
+        hsdf = to_hsdf(graph)
+        assert hsdf.edges[(("a", 0), ("a", 0))] == 1
+        assert hsdf.edges[(("b", 0), ("b", 0))] == 1
+
+    def test_auto_concurrency_cycle_through_copies(self, fig1):
+        hsdf = to_hsdf(fig1)
+        assert hsdf.edges[(("a", 0), ("a", 1))] == 0
+        assert hsdf.edges[(("a", 1), ("a", 2))] == 0
+        assert hsdf.edges[(("a", 2), ("a", 0))] == 1
+
+    def test_node_limit(self, samplerate_graph):
+        with pytest.raises(AnalysisError, match="limit"):
+            to_hsdf(samplerate_graph, node_limit=100)
+
+
+class TestDependencyEdges:
+    def test_multirate_dependencies(self, fig1):
+        # b consumes 3 from alpha (p=2): firing b0 needs a's 2nd firing,
+        # firing b1 needs a's 3rd firing.
+        hsdf = to_hsdf(fig1, model_auto_concurrency=False)
+        assert hsdf.edges[(("a", 1), ("b", 0))] == 0
+        assert hsdf.edges[(("a", 2), ("b", 1))] == 0
+        # c consumes 2 from beta (p=1): needs b's 2nd firing.
+        assert hsdf.edges[(("b", 1), ("c", 0))] == 0
+
+    def test_initial_tokens_create_delay(self):
+        # One token lets b's first firing use the previous iteration's a.
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b", 1, 1, initial_tokens=1)
+            .build()
+        )
+        hsdf = to_hsdf(graph, model_auto_concurrency=False)
+        assert hsdf.edges == {(("a", 0), ("b", 0)): 1}
+
+    def test_many_tokens_larger_delay(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b", 1, 1, initial_tokens=3)
+            .build()
+        )
+        hsdf = to_hsdf(graph, model_auto_concurrency=False)
+        assert hsdf.edges == {(("a", 0), ("b", 0)): 3}
+
+    def test_duplicate_edges_keep_min_delay(self):
+        hsdf = to_hsdf(
+            GraphBuilder().actors({"a": 1, "b": 1}).channel("a", "b", 1, 1).build(),
+            model_auto_concurrency=False,
+        )
+        hsdf.add_edge(("a", 0), ("b", 0), 5)
+        assert hsdf.edges[(("a", 0), ("b", 0))] == 0
+        hsdf.add_edge(("a", 0), ("b", 0), 0)
+        assert hsdf.edges[(("a", 0), ("b", 0))] == 0
+
+    def test_hsdf_repetition_vector_is_all_ones(self, fig1):
+        """The expansion is homogeneous: rebuilding it as an SDF graph
+        gives an all-ones repetition vector."""
+        hsdf = to_hsdf(fig1)
+        rebuilt = GraphBuilder("rebuilt")
+        for (actor, copy), time in hsdf.nodes.items():
+            rebuilt.actor(f"{actor}_{copy}", time)
+        for index, (((src, si), (dst, di)), delay) in enumerate(hsdf.edges.items()):
+            rebuilt.channel(f"{src}_{si}", f"{dst}_{di}", 1, 1, delay, name=f"e{index}")
+        graph = rebuilt.build()
+        assert set(repetition_vector(graph).values()) == {1}

@@ -1,0 +1,104 @@
+"""Unit tests for repro.analysis.mcm (maximum cycle ratio)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.hsdf import HSDFGraph, to_hsdf
+from repro.analysis.mcm import max_throughput_from_mcr, maximum_cycle_ratio
+from repro.exceptions import AnalysisError
+from repro.graph.builder import GraphBuilder
+
+
+def hsdf_from(nodes, edges) -> HSDFGraph:
+    graph = HSDFGraph("manual")
+    graph.nodes.update(nodes)
+    for src, dst, delay in edges:
+        graph.add_edge(src, dst, delay)
+    return graph
+
+
+A, B, C = ("a", 0), ("b", 0), ("c", 0)
+
+
+class TestMaximumCycleRatio:
+    def test_single_self_loop(self):
+        graph = hsdf_from({A: 3}, [(A, A, 1)])
+        assert maximum_cycle_ratio(graph).ratio == 3
+
+    def test_two_node_cycle(self):
+        graph = hsdf_from({A: 2, B: 4}, [(A, B, 0), (B, A, 1)])
+        assert maximum_cycle_ratio(graph).ratio == 6
+
+    def test_cycle_with_more_delay_is_faster(self):
+        graph = hsdf_from({A: 2, B: 4}, [(A, B, 1), (B, A, 1)])
+        assert maximum_cycle_ratio(graph).ratio == 3
+
+    def test_max_over_two_cycles(self):
+        graph = hsdf_from(
+            {A: 1, B: 1, C: 10},
+            [(A, B, 0), (B, A, 1), (C, C, 2)],
+        )
+        result = maximum_cycle_ratio(graph)
+        assert result.ratio == 5
+        assert result.critical_scc == frozenset({C})
+
+    def test_fractional_ratio(self):
+        graph = hsdf_from({A: 1, B: 2}, [(A, B, 1), (B, A, 2)])
+        assert maximum_cycle_ratio(graph).ratio == Fraction(1)
+        graph = hsdf_from({A: 1, B: 1}, [(A, B, 1), (B, A, 2)])
+        assert maximum_cycle_ratio(graph).ratio == Fraction(2, 3)
+
+    def test_zero_delay_cycle_raises(self):
+        graph = hsdf_from({A: 1, B: 1}, [(A, B, 0), (B, A, 0)])
+        with pytest.raises(AnalysisError, match="deadlock"):
+            maximum_cycle_ratio(graph)
+
+    def test_acyclic_graph_raises(self):
+        graph = hsdf_from({A: 1, B: 1}, [(A, B, 0)])
+        with pytest.raises(AnalysisError, match="no cycle"):
+            maximum_cycle_ratio(graph)
+
+    def test_unknown_node_raises(self):
+        graph = hsdf_from({A: 1}, [(A, A, 1)])
+        with pytest.raises(AnalysisError, match="not in the HSDF"):
+            maximum_cycle_ratio(graph, reaching=B)
+
+
+class TestReachingRestriction:
+    def test_upstream_slow_cycle_constrains_downstream(self):
+        graph = hsdf_from(
+            {A: 10, B: 1},
+            [(A, A, 1), (A, B, 0), (B, B, 1)],
+        )
+        assert maximum_cycle_ratio(graph, reaching=B).ratio == 10
+
+    def test_downstream_cycle_does_not_constrain_upstream(self):
+        graph = hsdf_from(
+            {A: 1, B: 10},
+            [(A, A, 1), (A, B, 0), (B, B, 1)],
+        )
+        assert maximum_cycle_ratio(graph, reaching=A).ratio == 1
+        assert maximum_cycle_ratio(graph, reaching=B).ratio == 10
+
+
+class TestMaxThroughputFromMcr:
+    def test_fig1(self, fig1):
+        hsdf = to_hsdf(fig1)
+        assert max_throughput_from_mcr(hsdf, ("c", 0)) == Fraction(1, 4)
+
+    def test_zero_ratio_raises(self):
+        graph = hsdf_from({A: 0}, [(A, A, 1)])
+        with pytest.raises(AnalysisError, match="unbounded"):
+            max_throughput_from_mcr(graph, A)
+
+    def test_pipeline_bottleneck(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 5, "b": 3})
+            .channel("a", "b")
+            .build()
+        )
+        hsdf = to_hsdf(graph)
+        assert max_throughput_from_mcr(hsdf, ("b", 0)) == Fraction(1, 5)
+        assert max_throughput_from_mcr(hsdf, ("a", 0)) == Fraction(1, 5)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.analysis.repetitions."""
+
+import pytest
+
+from repro.analysis.repetitions import iteration_token_delta, repetition_vector
+from repro.exceptions import InconsistentGraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestRepetitionVector:
+    def test_fig1(self, fig1):
+        assert repetition_vector(fig1) == {"a": 3, "b": 2, "c": 1}
+
+    def test_homogeneous_graph_all_ones(self):
+        graph = GraphBuilder().actors({"a": 1, "b": 1, "c": 1}).chain("a", "b", "c").build()
+        assert repetition_vector(graph) == {"a": 1, "b": 1, "c": 1}
+
+    def test_samplerate(self, samplerate_graph):
+        q = repetition_vector(samplerate_graph)
+        assert q == {
+            "cd": 147,
+            "stage1": 147,
+            "stage2": 98,
+            "stage3": 28,
+            "stage4": 32,
+            "dat": 160,
+        }
+
+    def test_single_actor(self):
+        graph = GraphBuilder().actor("a").build()
+        assert repetition_vector(graph) == {"a": 1}
+
+    def test_self_loop_does_not_change_vector(self):
+        graph = GraphBuilder().actor("a").self_loop("a").build()
+        assert repetition_vector(graph) == {"a": 1}
+
+    def test_vector_is_minimal(self):
+        # Rates with a common factor must still give the minimal vector.
+        graph = GraphBuilder().actors({"a": 1, "b": 1}).channel("a", "b", 4, 6).build()
+        assert repetition_vector(graph) == {"a": 3, "b": 2}
+
+    def test_components_normalised_independently(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1, "x": 1, "y": 1})
+            .channel("a", "b", 2, 1)
+            .channel("x", "y", 1, 3)
+            .build()
+        )
+        q = repetition_vector(graph)
+        assert (q["a"], q["b"]) == (1, 2)
+        assert (q["x"], q["y"]) == (3, 1)
+
+    def test_inconsistent_two_channel_graph(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b", 1, 1)
+            .channel("a", "b", 2, 1)
+            .build()
+        )
+        with pytest.raises(InconsistentGraphError):
+            repetition_vector(graph)
+
+    def test_inconsistent_cycle(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1, "c": 1})
+            .channel("a", "b", 2, 1)
+            .channel("b", "c", 2, 1)
+            .channel("c", "a", 2, 1, initial_tokens=4)
+            .build()
+        )
+        with pytest.raises(InconsistentGraphError):
+            repetition_vector(graph)
+
+
+class TestIterationTokenDelta:
+    def test_consistent_graph_has_zero_delta(self, fig1):
+        assert iteration_token_delta(fig1) == {"alpha": 0, "beta": 0}
+
+    def test_samplerate_zero_delta(self, samplerate_graph):
+        assert all(delta == 0 for delta in iteration_token_delta(samplerate_graph).values())

@@ -1,0 +1,59 @@
+"""Unit tests for repro.baselines.deadlockfree ([GBS05] baseline)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.deadlockfree import minimal_deadlock_free_distribution
+from repro.exceptions import InconsistentGraphError
+from repro.graph.builder import GraphBuilder
+
+
+def test_fig1_minimum_is_first_pareto_point(fig1):
+    distribution, throughput = minimal_deadlock_free_distribution(fig1, "c")
+    assert distribution == {"alpha": 4, "beta": 2}
+    assert distribution.size == 6
+    assert throughput == Fraction(1, 7)
+
+
+def test_gap_to_throughput_constraint(fig1):
+    """The paper's motivation: the deadlock-free minimum may violate a
+    throughput constraint that a slightly larger distribution meets."""
+    from repro.buffers.explorer import minimal_distribution_for_throughput
+
+    _, unconstrained = minimal_deadlock_free_distribution(fig1, "c")
+    constrained = minimal_distribution_for_throughput(fig1, Fraction(1, 4), "c")
+    assert unconstrained < Fraction(1, 4)
+    assert constrained.size > 6
+
+
+def test_always_deadlocked_graph_returns_none():
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b", 1, 2)
+        .channel("b", "a", 2, 1, initial_tokens=1)
+        .build()
+    )
+    assert minimal_deadlock_free_distribution(graph, "b") is None
+
+
+def test_inconsistent_graph_rejected():
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b", 1, 2)
+        .channel("b", "a", 1, 1)
+        .build()
+    )
+    with pytest.raises(InconsistentGraphError):
+        minimal_deadlock_free_distribution(graph)
+
+
+def test_modem_minimum_matches_front(modem_graph):
+    from repro.buffers.explorer import explore_design_space
+
+    distribution, throughput = minimal_deadlock_free_distribution(modem_graph)
+    front = explore_design_space(modem_graph).front
+    assert distribution.size == front.min_positive.size
+    assert throughput == front.min_positive.throughput

@@ -1,0 +1,51 @@
+"""Unit tests for repro.baselines.greedy."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.greedy import greedy_minimize
+from repro.buffers.distribution import StorageDistribution
+from repro.engine.executor import Executor
+from repro.exceptions import ExplorationError
+
+
+def test_result_meets_target(fig1):
+    distribution, throughput, _evals = greedy_minimize(fig1, Fraction(1, 4), "c")
+    assert throughput >= Fraction(1, 4)
+    assert Executor(fig1, distribution, "c").run().throughput == throughput
+
+
+def test_result_is_locally_minimal(fig1):
+    distribution, _thr, _evals = greedy_minimize(fig1, Fraction(1, 4), "c")
+    for name in fig1.channel_names:
+        if distribution[name] > 0:
+            shrunk = distribution.with_capacity(name, distribution[name] - 1)
+            assert Executor(fig1, shrunk, "c").run().throughput < Fraction(1, 4)
+
+
+def test_never_better_than_exact_front(fig1):
+    """The heuristic upper-bounds the exact minimum (the paper's point)."""
+    from repro.buffers.explorer import minimal_distribution_for_throughput
+
+    for target in (Fraction(1, 7), Fraction(1, 6), Fraction(1, 4)):
+        greedy_dist, _thr, _evals = greedy_minimize(fig1, target, "c")
+        exact = minimal_distribution_for_throughput(fig1, target, "c")
+        assert greedy_dist.size >= exact.size
+
+
+def test_unreachable_target_raises(fig1):
+    with pytest.raises(ExplorationError, match="below the target"):
+        greedy_minimize(fig1, Fraction(1, 2), "c")
+
+
+def test_custom_start(fig1):
+    start = StorageDistribution({"alpha": 6, "beta": 2})
+    distribution, throughput, _ = greedy_minimize(fig1, Fraction(1, 6), "c", start=start)
+    assert throughput >= Fraction(1, 6)
+    assert distribution.size <= start.size
+
+
+def test_evaluation_count_reported(fig1):
+    _dist, _thr, evaluations = greedy_minimize(fig1, Fraction(1, 7), "c")
+    assert evaluations > 0

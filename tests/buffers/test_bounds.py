@@ -1,0 +1,78 @@
+"""Unit tests for repro.buffers.bounds (Sec. 8 / Fig. 7)."""
+
+import pytest
+
+from repro.buffers.bounds import (
+    channel_lower_bound,
+    channel_upper_bound,
+    lower_bound_distribution,
+    size_bounds,
+    upper_bound_distribution,
+)
+from repro.engine.executor import Executor
+from repro.graph.builder import GraphBuilder
+from repro.graph.channel import Channel
+
+
+class TestChannelLowerBound:
+    def test_fig1_alpha(self):
+        assert channel_lower_bound(Channel("alpha", "a", "b", 2, 3)) == 4
+
+    def test_fig1_beta(self):
+        assert channel_lower_bound(Channel("beta", "b", "c", 1, 2)) == 2
+
+    def test_homogeneous(self):
+        assert channel_lower_bound(Channel("c", "a", "b", 1, 1)) == 1
+
+    def test_common_divisor(self):
+        # p=4, c=6, gcd=2 -> 4+6-2 = 8.
+        assert channel_lower_bound(Channel("c", "a", "b", 4, 6)) == 8
+
+    def test_initial_tokens_mod_term(self):
+        # d mod gcd(4,6)=2: one leftover token raises the bound by 1.
+        assert channel_lower_bound(Channel("c", "a", "b", 4, 6, 1)) == 9
+
+    def test_many_initial_tokens_dominate(self):
+        assert channel_lower_bound(Channel("c", "a", "b", 1, 1, 10)) == 10
+
+    def test_bound_is_tight_for_fig1(self, fig1):
+        # Capacity lb deadlock-free, lb-1 deadlocks (exactness on a chain).
+        lower = lower_bound_distribution(fig1)
+        assert Executor(fig1, lower, "c").run().throughput > 0
+        for name in fig1.channel_names:
+            shrunk = lower.with_capacity(name, lower[name] - 1)
+            assert Executor(fig1, shrunk, "c").run().deadlocked
+
+
+class TestChannelUpperBound:
+    def test_needs_repetitions_or_graph(self):
+        channel = Channel("c", "a", "b", 2, 3)
+        with pytest.raises(ValueError):
+            channel_upper_bound(channel)
+
+    def test_formula(self, fig1):
+        # alpha: 0 + 2*3 + 3*2 = 12; beta: 0 + 1*2 + 2*1 = 4.
+        alpha = fig1.channel("alpha")
+        assert channel_upper_bound(alpha, graph=fig1) == 12
+        assert channel_upper_bound(fig1.channel("beta"), graph=fig1) == 4
+
+    def test_upper_bound_reaches_max_throughput(self, fig1, fig6, samplerate_graph):
+        from repro.analysis.throughput import max_throughput
+
+        for graph in (fig1, fig6, samplerate_graph):
+            upper = upper_bound_distribution(graph)
+            measured = Executor(graph, upper).run().throughput
+            assert measured == max_throughput(graph, method="mcm")
+
+
+class TestCombinedBounds:
+    def test_fig1_box(self, fig1):
+        assert dict(lower_bound_distribution(fig1)) == {"alpha": 4, "beta": 2}
+        assert dict(upper_bound_distribution(fig1)) == {"alpha": 12, "beta": 4}
+        assert size_bounds(fig1) == (6, 16)
+
+    def test_lower_not_above_upper(self, modem_graph, satellite_graph, h263_small):
+        for graph in (modem_graph, satellite_graph, h263_small):
+            lower = lower_bound_distribution(graph)
+            upper = upper_bound_distribution(graph)
+            assert all(lower[name] <= upper[name] for name in lower)

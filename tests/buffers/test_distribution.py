@@ -1,0 +1,87 @@
+"""Unit tests for repro.buffers.distribution."""
+
+import pytest
+
+from repro.buffers.distribution import StorageDistribution
+from repro.exceptions import CapacityError
+
+
+class TestConstruction:
+    def test_size_is_sum(self):
+        assert StorageDistribution({"alpha": 4, "beta": 2}).size == 6
+
+    def test_empty_distribution(self):
+        assert StorageDistribution({}).size == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError, match=">= 0"):
+            StorageDistribution({"alpha": -1})
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(CapacityError, match="int"):
+            StorageDistribution({"alpha": 1.5})
+
+    def test_bool_rejected(self):
+        with pytest.raises(CapacityError, match="int"):
+            StorageDistribution({"alpha": True})
+
+    def test_uniform(self, fig1):
+        distribution = StorageDistribution.uniform(fig1, 3)
+        assert dict(distribution) == {"alpha": 3, "beta": 3}
+
+
+class TestMappingBehaviour:
+    def test_getitem_and_len(self):
+        distribution = StorageDistribution({"alpha": 4, "beta": 2})
+        assert distribution["alpha"] == 4
+        assert len(distribution) == 2
+        assert set(distribution) == {"alpha", "beta"}
+
+    def test_hashable_and_equal(self):
+        first = StorageDistribution({"alpha": 4, "beta": 2})
+        second = StorageDistribution({"beta": 2, "alpha": 4})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first == {"alpha": 4, "beta": 2}
+
+    def test_usable_as_dict_key(self):
+        table = {StorageDistribution({"a": 1}): "x"}
+        assert table[StorageDistribution({"a": 1})] == "x"
+
+
+class TestOperations:
+    def test_dominates(self):
+        big = StorageDistribution({"a": 3, "b": 2})
+        small = StorageDistribution({"a": 2, "b": 2})
+        assert big.dominates(small)
+        assert not small.dominates(big)
+        assert big.dominates(big)
+
+    def test_dominates_requires_same_channels(self):
+        with pytest.raises(CapacityError, match="different channel sets"):
+            StorageDistribution({"a": 1}).dominates(StorageDistribution({"b": 1}))
+
+    def test_incremented(self):
+        distribution = StorageDistribution({"a": 1, "b": 1})
+        bumped = distribution.incremented("a", 3)
+        assert bumped == {"a": 4, "b": 1}
+        assert distribution == {"a": 1, "b": 1}
+
+    def test_with_capacity_unknown_channel(self):
+        with pytest.raises(CapacityError, match="unknown channel"):
+            StorageDistribution({"a": 1}).with_capacity("z", 2)
+
+    def test_scaled(self):
+        assert StorageDistribution({"a": 2, "b": 3}).scaled(2) == {"a": 4, "b": 6}
+
+    def test_merged_max(self):
+        first = StorageDistribution({"a": 1, "b": 5})
+        second = StorageDistribution({"a": 3, "b": 2})
+        assert first.merged_max(second) == {"a": 3, "b": 5}
+
+    def test_vector_follows_graph_order(self, fig1):
+        distribution = StorageDistribution({"beta": 2, "alpha": 4})
+        assert distribution.vector(fig1) == (4, 2)
+
+    def test_str(self):
+        assert str(StorageDistribution({"alpha": 4, "beta": 2})) == "(alpha: 4, beta: 2)"

@@ -1,0 +1,68 @@
+"""Unit tests for repro.buffers.enumerate."""
+
+import pytest
+
+from repro.buffers.enumerate import count_distributions_of_size, distributions_of_size
+from repro.exceptions import ExplorationError
+
+
+CHANNELS = ["alpha", "beta"]
+LOWER = {"alpha": 4, "beta": 2}
+UPPER = {"alpha": 12, "beta": 4}
+
+
+class TestDistributionsOfSize:
+    def test_minimal_size_single_vector(self):
+        result = list(distributions_of_size(CHANNELS, 6, LOWER, UPPER))
+        assert len(result) == 1
+        assert result[0] == {"alpha": 4, "beta": 2}
+
+    def test_all_compositions_of_size_8(self):
+        result = {tuple(sorted(d.items())) for d in distributions_of_size(CHANNELS, 8, LOWER, UPPER)}
+        assert result == {
+            (("alpha", 4), ("beta", 4)),
+            (("alpha", 5), ("beta", 3)),
+            (("alpha", 6), ("beta", 2)),
+        }
+
+    def test_sizes_respected(self):
+        for size in range(6, 17):
+            for distribution in distributions_of_size(CHANNELS, size, LOWER, UPPER):
+                assert distribution.size == size
+                assert 4 <= distribution["alpha"] <= 12
+                assert 2 <= distribution["beta"] <= 4
+
+    def test_out_of_range_size_yields_nothing(self):
+        assert list(distributions_of_size(CHANNELS, 5, LOWER, UPPER)) == []
+        assert list(distributions_of_size(CHANNELS, 17, LOWER, UPPER)) == []
+
+    def test_empty_channel_list(self):
+        assert list(distributions_of_size([], 0, {}, {})) == [dict()]
+        assert list(distributions_of_size([], 1, {}, {})) == []
+
+    def test_single_channel(self):
+        result = list(distributions_of_size(["c"], 3, {"c": 1}, {"c": 5}))
+        assert result == [{"c": 3}]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ExplorationError, match="exceeds"):
+            list(distributions_of_size(["c"], 3, {"c": 5}, {"c": 1}))
+
+
+class TestCountDistributions:
+    def test_count_matches_enumeration(self):
+        for size in range(5, 18):
+            counted = count_distributions_of_size(CHANNELS, size, LOWER, UPPER)
+            enumerated = len(list(distributions_of_size(CHANNELS, size, LOWER, UPPER)))
+            assert counted == enumerated
+
+    def test_count_is_cheap_for_large_boxes(self):
+        channels = [f"c{i}" for i in range(20)]
+        lower = {name: 1 for name in channels}
+        upper = {name: 50 for name in channels}
+        count = count_distributions_of_size(channels, 300, lower, upper)
+        assert count > 10**20  # astronomically large, computed instantly
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ExplorationError, match="exceeds"):
+            count_distributions_of_size(["c"], 3, {"c": 5}, {"c": 1})

@@ -1,0 +1,127 @@
+"""Unit tests for repro.buffers.explorer — the public DSE API."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.explorer import (
+    explore_design_space,
+    maximal_throughput_point,
+    minimal_distribution_for_throughput,
+)
+from repro.engine.executor import Executor
+from repro.exceptions import ExplorationError, InconsistentGraphError
+from repro.graph.builder import GraphBuilder
+
+FIG1_FRONT = [
+    (6, Fraction(1, 7)),
+    (8, Fraction(1, 6)),
+    (9, Fraction(1, 5)),
+    (10, Fraction(1, 4)),
+]
+
+
+class TestExploreDesignSpace:
+    @pytest.mark.parametrize("strategy", ["dependency", "divide", "exhaustive"])
+    def test_fig1_front_identical_across_strategies(self, fig1, strategy):
+        result = explore_design_space(fig1, "c", strategy=strategy)
+        assert [(p.size, p.throughput) for p in result.front] == FIG1_FRONT
+
+    def test_bounds_and_max_throughput_reported(self, fig1):
+        result = explore_design_space(fig1, "c")
+        assert result.lower_bounds.size == 6
+        assert result.upper_bounds.size == 16
+        assert result.max_throughput == Fraction(1, 4)
+        assert result.observe == "c"
+
+    def test_witnesses_reproduce_their_throughput(self, fig1):
+        result = explore_design_space(fig1, "c")
+        for point in result.front:
+            for witness in point.witnesses:
+                assert Executor(fig1, witness, "c").run().throughput == point.throughput
+
+    def test_max_size_restricts_front(self, fig1):
+        result = explore_design_space(fig1, "c", max_size=8)
+        assert [(p.size, p.throughput) for p in result.front] == FIG1_FRONT[:2]
+
+    def test_quantum_thins_front(self, fig1):
+        result = explore_design_space(fig1, "c", quantum=Fraction(1, 10))
+        # Levels: 1/7, 1/6 both in [0.1, 0.2); 1/5 = 0.2; 1/4 in [0.2, 0.3).
+        assert [p.size for p in result.front] == [6, 9]
+
+    def test_quantized_divide_strategy(self, fig1):
+        result = explore_design_space(fig1, "c", strategy="divide", quantum=Fraction(1, 24))
+        # All of fig1's throughput levels lie on the 1/24 grid except
+        # 1/7 and 1/5; the quantised front must still be achievable and
+        # monotone.
+        sizes = result.front.sizes()
+        assert sizes == sorted(sizes)
+        assert result.front.throughputs()[-1] == Fraction(1, 4)
+
+    def test_unknown_strategy_rejected(self, fig1):
+        with pytest.raises(ExplorationError, match="unknown strategy"):
+            explore_design_space(fig1, "c", strategy="magic")
+
+    def test_inconsistent_graph_rejected(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b", 1, 2)
+            .channel("b", "a", 1, 1)
+            .build()
+        )
+        with pytest.raises(InconsistentGraphError):
+            explore_design_space(graph)
+
+    def test_search_space_counting(self, fig1):
+        result = explore_design_space(fig1, "c", count_search_space=True)
+        # Box: alpha in [4,12], beta in [2,4] -> 27 distributions.
+        assert result.stats.search_space == 27
+
+    def test_summary_mentions_everything(self, fig1):
+        text = explore_design_space(fig1, "c").summary()
+        assert "Pareto points: 4" in text
+        assert "1/4" in text
+        assert "size=6" in text
+
+    def test_always_deadlocked_graph_has_empty_front(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b", 1, 2)
+            .channel("b", "a", 2, 1, initial_tokens=1)
+            .build()
+        )
+        result = explore_design_space(graph, "b")
+        assert len(result.front) == 0
+        assert result.max_throughput == 0
+
+
+class TestQueries:
+    def test_minimal_distribution_for_throughput(self, fig1):
+        point = minimal_distribution_for_throughput(fig1, Fraction(1, 6), "c")
+        assert point.size == 8
+        assert point.throughput == Fraction(1, 6)
+
+    def test_nonpositive_constraint_rejected(self, fig1):
+        with pytest.raises(ExplorationError, match="positive"):
+            minimal_distribution_for_throughput(fig1, Fraction(0), "c")
+
+    def test_unachievable_constraint_returns_none(self, fig1):
+        assert minimal_distribution_for_throughput(fig1, Fraction(1, 2), "c") is None
+
+    def test_maximal_throughput_point(self, fig1):
+        point = maximal_throughput_point(fig1, "c")
+        assert point.size == 10
+        assert point.throughput == Fraction(1, 4)
+
+    def test_maximal_throughput_point_deadlocked_graph(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b", 1, 2)
+            .channel("b", "a", 2, 1, initial_tokens=1)
+            .build()
+        )
+        with pytest.raises(ExplorationError, match="deadlocks"):
+            maximal_throughput_point(graph, "b")

@@ -1,0 +1,62 @@
+"""Throughput-window exploration (the paper's partial-space controls)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.explorer import explore_design_space
+from repro.exceptions import ExplorationError
+
+
+class TestThroughputBounds:
+    def test_lower_bound_drops_slow_points(self, fig1):
+        result = explore_design_space(fig1, "c", throughput_bounds=(Fraction(1, 6), None))
+        assert [(p.size, p.throughput) for p in result.front] == [
+            (8, Fraction(1, 6)),
+            (9, Fraction(1, 5)),
+            (10, Fraction(1, 4)),
+        ]
+
+    def test_upper_bound_stops_search_early(self, fig1):
+        result = explore_design_space(fig1, "c", throughput_bounds=(None, Fraction(1, 6)))
+        assert [(p.size, p.throughput) for p in result.front] == [
+            (6, Fraction(1, 7)),
+            (8, Fraction(1, 6)),
+        ]
+        # The search never needed sizes 9 and 10.
+        full = explore_design_space(fig1, "c")
+        assert result.stats.evaluations <= full.stats.evaluations
+
+    def test_window_combines_both_ends(self, fig1):
+        result = explore_design_space(
+            fig1, "c", throughput_bounds=(Fraction(1, 6), Fraction(1, 5))
+        )
+        assert [(p.size, p.throughput) for p in result.front] == [
+            (8, Fraction(1, 6)),
+            (9, Fraction(1, 5)),
+        ]
+
+    def test_upper_bound_above_max_is_harmless(self, fig1):
+        windowed = explore_design_space(fig1, "c", throughput_bounds=(None, Fraction(1, 2)))
+        full = explore_design_space(fig1, "c")
+        assert windowed.front == full.front
+
+    def test_invalid_window_rejected(self, fig1):
+        with pytest.raises(ExplorationError, match="low exceeds high"):
+            explore_design_space(
+                fig1, "c", throughput_bounds=(Fraction(1, 4), Fraction(1, 7))
+            )
+
+    @pytest.mark.parametrize("strategy", ["dependency", "divide", "exhaustive"])
+    def test_window_consistent_across_strategies(self, fig1, strategy):
+        result = explore_design_space(
+            fig1,
+            "c",
+            strategy=strategy,
+            throughput_bounds=(Fraction(1, 7), Fraction(1, 5)),
+        )
+        assert [p.throughput for p in result.front] == [
+            Fraction(1, 7),
+            Fraction(1, 6),
+            Fraction(1, 5),
+        ]

@@ -1,0 +1,72 @@
+"""Unit tests for repro.buffers.hybrid and repro.buffers.explain."""
+
+import pytest
+
+from repro.buffers.explain import explain_front, render_explanations
+from repro.buffers.explorer import explore_design_space
+from repro.buffers.hybrid import bank_peaks
+from repro.buffers.shared import shared_memory_requirement
+from repro.exceptions import ExplorationError
+
+CAPS = {"alpha": 4, "beta": 2}
+
+
+class TestBankPeaks:
+    def test_one_bank_per_channel_bounded_by_capacity(self, fig1):
+        report = bank_peaks(fig1, CAPS, {"alpha": "m0", "beta": "m1"}, "c")
+        assert report.peaks["m0"] <= 4
+        assert report.peaks["m1"] <= 2
+        assert report.throughput.denominator == 7
+
+    def test_single_bank_equals_shared_model(self, fig1):
+        hybrid = bank_peaks(fig1, CAPS, {"alpha": "mem", "beta": "mem"}, "c")
+        shared = shared_memory_requirement(fig1, CAPS, "c")
+        assert hybrid.peaks["mem"] == shared.peak_shared_tokens
+        assert hybrid.total == shared.peak_shared_tokens
+
+    def test_total_between_shared_and_distributed(self, fig1):
+        split = bank_peaks(fig1, CAPS, {"alpha": "m0", "beta": "m1"}, "c")
+        shared = shared_memory_requirement(fig1, CAPS, "c")
+        assert shared.peak_shared_tokens <= split.total <= sum(CAPS.values())
+
+    def test_missing_assignment_rejected(self, fig1):
+        with pytest.raises(ExplorationError, match="without a bank"):
+            bank_peaks(fig1, CAPS, {"alpha": "m0"}, "c")
+
+    def test_unknown_channel_rejected(self, fig1):
+        with pytest.raises(ExplorationError, match="unknown channels"):
+            bank_peaks(fig1, CAPS, {"alpha": "m0", "beta": "m1", "zz": "m2"}, "c")
+
+    def test_samplerate_bank_partition(self, samplerate_graph):
+        banks = {
+            name: ("front" if name in ("c1", "c2") else "back")
+            for name in samplerate_graph.channel_names
+        }
+        caps = {"c1": 1, "c2": 4, "c3": 8, "c4": 14, "c5": 5}
+        report = bank_peaks(samplerate_graph, caps, banks)
+        assert set(report.peaks) == {"front", "back"}
+        assert report.total <= sum(caps.values())
+
+
+class TestExplainFront:
+    def test_interior_points_are_storage_limited(self, fig1):
+        front = explore_design_space(fig1, "c").front
+        explanations = explain_front(fig1, front, "c")
+        # Every point below maximal throughput must have a space-blocked
+        # channel (otherwise a larger buffer couldn't help).
+        for explanation in explanations[:-1]:
+            assert explanation.storage_limited
+            for channel in explanation.space_blocked:
+                assert explanation.deficits[channel] >= 1
+
+    def test_top_point_not_storage_limited_or_at_max(self, fig1):
+        result = explore_design_space(fig1, "c")
+        explanations = explain_front(fig1, result.front, "c")
+        top = explanations[-1]
+        assert top.point.throughput == result.max_throughput
+
+    def test_render(self, fig1):
+        front = explore_design_space(fig1, "c").front
+        text = render_explanations(explain_front(fig1, front, "c"))
+        assert "space-blocked" in text
+        assert "1/7" in text

@@ -1,0 +1,96 @@
+"""Unit tests for repro.buffers.pareto."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.pareto import ParetoFront, ParetoPoint
+
+
+def dist(**caps):
+    return StorageDistribution(caps)
+
+
+def build_front():
+    return ParetoFront.from_evaluations(
+        {
+            dist(a=4, b=2): Fraction(1, 7),
+            dist(a=5, b=2): Fraction(1, 7),  # dominated (same thr, larger)
+            dist(a=6, b=2): Fraction(1, 6),
+            dist(a=5, b=3): Fraction(1, 6),  # same point, second witness
+            dist(a=8, b=2): Fraction(1, 4),
+            dist(a=3, b=2): Fraction(0),  # deadlock, ignored
+        }
+    )
+
+
+class TestFromEvaluations:
+    def test_points_strictly_increasing(self):
+        front = build_front()
+        assert front.sizes() == [6, 8, 10]
+        assert front.throughputs() == [Fraction(1, 7), Fraction(1, 6), Fraction(1, 4)]
+
+    def test_witnesses_grouped(self):
+        front = build_front()
+        middle = front[1]
+        assert len(middle.witnesses) == 2
+        assert {tuple(sorted(w.items())) for w in middle.witnesses} == {
+            (("a", 5), ("b", 3)),
+            (("a", 6), ("b", 2)),
+        }
+
+    def test_zero_throughput_excluded(self):
+        front = ParetoFront.from_evaluations({dist(a=1): Fraction(0)})
+        assert len(front) == 0
+        assert front.min_positive is None
+        assert front.max_throughput_point is None
+
+    def test_equal_size_keeps_best_throughput(self):
+        front = ParetoFront.from_evaluations(
+            {dist(a=2, b=2): Fraction(1, 8), dist(a=3, b=1): Fraction(1, 5)}
+        )
+        assert len(front) == 1
+        assert front[0].throughput == Fraction(1, 5)
+
+
+class TestQueries:
+    def test_smallest_for(self):
+        front = build_front()
+        assert front.smallest_for(Fraction(1, 7)).size == 6
+        assert front.smallest_for(Fraction(1, 6)).size == 8
+        assert front.smallest_for(Fraction(3, 20)).size == 8
+        assert front.smallest_for(Fraction(1, 2)) is None
+
+    def test_throughput_at(self):
+        front = build_front()
+        assert front.throughput_at(5) == 0
+        assert front.throughput_at(6) == Fraction(1, 7)
+        assert front.throughput_at(9) == Fraction(1, 6)
+        assert front.throughput_at(100) == Fraction(1, 4)
+
+    def test_is_feasible(self):
+        front = build_front()
+        assert front.is_feasible(8, Fraction(1, 6))
+        assert not front.is_feasible(7, Fraction(1, 6))
+
+    def test_iteration_and_equality(self):
+        assert build_front() == build_front()
+        other = ParetoFront.from_evaluations({dist(a=4, b=2): Fraction(1, 7)})
+        assert build_front() != other
+        assert [point.size for point in build_front()] == [6, 8, 10]
+
+
+class TestParetoPoint:
+    def test_distribution_accessor(self):
+        point = ParetoPoint(6, Fraction(1, 7), (dist(a=4, b=2),))
+        assert point.distribution == {"a": 4, "b": 2}
+
+    def test_distribution_without_witness_raises(self):
+        with pytest.raises(ValueError):
+            ParetoPoint(6, Fraction(1, 7)).distribution
+
+    def test_str(self):
+        point = ParetoPoint(6, Fraction(1, 7), (dist(a=4, b=2),))
+        assert "size=6" in str(point)
+        assert "1/7" in str(point)

@@ -1,0 +1,68 @@
+"""Unit tests for repro.buffers.quantize."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.pareto import ParetoFront
+from repro.buffers.quantize import quantize_down, quantize_up, thin_front
+from repro.exceptions import ExplorationError
+
+
+class TestGridSnapping:
+    def test_quantize_down(self):
+        q = Fraction(1, 10)
+        assert quantize_down(Fraction(17, 100), q) == Fraction(1, 10)
+        assert quantize_down(Fraction(1, 5), q) == Fraction(1, 5)
+        assert quantize_down(Fraction(0), q) == 0
+
+    def test_quantize_up(self):
+        q = Fraction(1, 10)
+        assert quantize_up(Fraction(17, 100), q) == Fraction(1, 5)
+        assert quantize_up(Fraction(1, 5), q) == Fraction(1, 5)
+
+    def test_non_positive_quantum_rejected(self):
+        with pytest.raises(ExplorationError):
+            quantize_down(Fraction(1), Fraction(0))
+        with pytest.raises(ExplorationError):
+            quantize_up(Fraction(1), Fraction(-1, 2))
+
+
+class TestThinFront:
+    def front(self):
+        return ParetoFront.from_evaluations(
+            {
+                StorageDistribution({"a": size}): thr
+                for size, thr in [
+                    (4, Fraction(10, 100)),
+                    (5, Fraction(11, 100)),
+                    (6, Fraction(12, 100)),
+                    (7, Fraction(25, 100)),
+                    (8, Fraction(26, 100)),
+                    (9, Fraction(40, 100)),
+                ]
+            }
+        )
+
+    def test_one_point_per_level(self):
+        thinned = thin_front(self.front(), Fraction(1, 10))
+        assert thinned.sizes() == [4, 7, 9]
+        # Each kept point retains its exact throughput.
+        assert thinned.throughputs() == [
+            Fraction(10, 100),
+            Fraction(25, 100),
+            Fraction(40, 100),
+        ]
+
+    def test_fine_quantum_keeps_everything(self):
+        front = self.front()
+        assert thin_front(front, Fraction(1, 100)) == front
+
+    def test_coarse_quantum_keeps_first(self):
+        thinned = thin_front(self.front(), Fraction(1))
+        assert thinned.sizes() == [4]
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ExplorationError):
+            thin_front(self.front(), Fraction(0))

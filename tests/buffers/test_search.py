@@ -1,0 +1,130 @@
+"""Unit tests for repro.buffers.search (the paper's Sec. 9 strategies)."""
+
+from fractions import Fraction
+
+from repro.buffers.bounds import lower_bound_distribution, upper_bound_distribution
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.search import (
+    SizeSearch,
+    ThroughputEvaluator,
+    divide_and_conquer,
+    exhaustive_sweep,
+)
+
+
+def make_search(graph, observe="c"):
+    evaluator = ThroughputEvaluator(graph, observe)
+    lower = lower_bound_distribution(graph)
+    upper = upper_bound_distribution(graph)
+    return SizeSearch(graph, observe, lower, upper, evaluator), evaluator, lower, upper
+
+
+class TestThroughputEvaluator:
+    def test_memoisation(self, fig1):
+        evaluator = ThroughputEvaluator(fig1, "c")
+        distribution = StorageDistribution({"alpha": 4, "beta": 2})
+        first = evaluator(distribution)
+        second = evaluator(distribution)
+        assert first == second == Fraction(1, 7)
+        assert evaluator.stats.evaluations == 1
+        assert evaluator.stats.cache_hits == 1
+
+    def test_records_max_states(self, fig1):
+        evaluator = ThroughputEvaluator(fig1, "c")
+        evaluator(StorageDistribution({"alpha": 4, "beta": 2}))
+        assert evaluator.stats.max_states_stored >= 2
+
+    def test_evaluations_snapshot(self, fig1):
+        evaluator = ThroughputEvaluator(fig1, "c")
+        distribution = StorageDistribution({"alpha": 4, "beta": 2})
+        evaluator(distribution)
+        assert evaluator.evaluations == {distribution: Fraction(1, 7)}
+
+
+class TestMaxThroughputForSize:
+    def test_minimal_size(self, fig1):
+        search, *_ = make_search(fig1)
+        probe = search.max_throughput_for_size(6)
+        assert probe.throughput == Fraction(1, 7)
+        assert probe.witnesses[0] == {"alpha": 4, "beta": 2}
+        assert probe.exact
+
+    def test_collects_tied_witnesses(self, fig1):
+        search, *_ = make_search(fig1)
+        probe = search.max_throughput_for_size(8)
+        assert probe.throughput == Fraction(1, 6)
+        assert {tuple(sorted(w.items())) for w in probe.witnesses} == {
+            (("alpha", 5), ("beta", 3)),
+            (("alpha", 6), ("beta", 2)),
+        }
+
+    def test_stop_at_short_circuits(self, fig1):
+        search, evaluator, *_ = make_search(fig1)
+        probe = search.max_throughput_for_size(12, stop_at=Fraction(1, 4))
+        assert probe.throughput == Fraction(1, 4)
+        # The scan ended before enumerating all size-12 distributions.
+        assert evaluator.stats.evaluations < 5
+
+    def test_deadlocking_size(self, fig1):
+        search, *_ = make_search(fig1)
+        # Size 6 exists but shrink the box lower bound artificially:
+        probe = search.max_throughput_for_size(7)
+        assert probe.throughput == Fraction(1, 7)
+
+
+class TestThresholdScan:
+    def test_finds_distribution(self, fig1):
+        search, *_ = make_search(fig1)
+        found = search.threshold_scan(8, Fraction(1, 6))
+        assert found is not None
+        assert found.size == 8
+
+    def test_returns_none_when_unreachable(self, fig1):
+        search, *_ = make_search(fig1)
+        assert search.threshold_scan(6, Fraction(1, 6)) is None
+
+
+class TestQuantizedSearch:
+    def test_reaches_exact_levels_on_grid(self, fig1):
+        search, *_ = make_search(fig1)
+        probe = search.quantized_max_for_size(8, Fraction(0), Fraction(1, 4), Fraction(1, 24))
+        # 1/6 = 4/24 lies on the grid, so the quantised search finds it.
+        assert probe.throughput == Fraction(1, 6)
+        assert not probe.exact
+
+    def test_within_one_quantum(self, fig1):
+        search, *_ = make_search(fig1)
+        quantum = Fraction(1, 10)
+        probe = search.quantized_max_for_size(8, Fraction(0), Fraction(1, 4), quantum)
+        # Exact max for size 8 is 1/6; the result is achievable and at
+        # most one quantum below the true maximum.
+        assert Fraction(0) < probe.throughput <= Fraction(1, 6)
+        assert Fraction(1, 6) - probe.throughput < quantum
+
+
+class TestSweeps:
+    def test_exhaustive_covers_until_max(self, fig1):
+        lower = lower_bound_distribution(fig1)
+        upper = upper_bound_distribution(fig1)
+        probes, stats = exhaustive_sweep(fig1, "c", lower, upper, Fraction(1, 4))
+        assert sorted(probes) == list(range(6, 11))
+        assert probes[10].throughput == Fraction(1, 4)
+        assert stats.evaluations > 0
+
+    def test_divide_and_conquer_agrees_with_exhaustive(self, fig1):
+        lower = lower_bound_distribution(fig1)
+        upper = upper_bound_distribution(fig1)
+        exhaustive, _ = exhaustive_sweep(fig1, "c", lower, upper, Fraction(1, 4))
+        divided, _ = divide_and_conquer(fig1, "c", lower, upper, Fraction(1, 4))
+        for size, probe in divided.items():
+            if size in exhaustive:
+                assert probe.throughput == exhaustive[size].throughput
+
+    def test_divide_and_conquer_probes_fewer_sizes_on_flat_regions(self, fig6):
+        from repro.analysis.throughput import max_throughput
+
+        lower = lower_bound_distribution(fig6)
+        upper = upper_bound_distribution(fig6)
+        target = max_throughput(fig6, "d")
+        divided, stats = divide_and_conquer(fig6, "d", lower, upper, target)
+        assert stats.sizes_probed <= upper.size - lower.size + 1

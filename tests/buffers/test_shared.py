@@ -1,0 +1,49 @@
+"""Shared-memory storage model (Sec. 3 alternative)."""
+
+from fractions import Fraction
+
+from repro.buffers.explorer import explore_design_space
+from repro.buffers.shared import compare_storage_models, shared_memory_requirement
+
+
+class TestSharedMemoryRequirement:
+    def test_never_exceeds_distribution_size(self, fig1):
+        """Sec. 3: per-channel memories are a conservative bound — a
+        shared memory never needs more."""
+        report = shared_memory_requirement(fig1, {"alpha": 4, "beta": 2}, "c")
+        assert report.peak_shared_tokens <= report.distribution_size
+        assert report.saving >= 0
+
+    def test_fig1_running_distribution(self, fig1):
+        report = shared_memory_requirement(fig1, {"alpha": 4, "beta": 2}, "c")
+        assert report.throughput == Fraction(1, 7)
+        # The schedule keeps alpha and beta jointly below the full 6.
+        assert 4 <= report.peak_shared_tokens <= 6
+
+    def test_peak_reflects_actual_concurrency(self, fig1):
+        generous = shared_memory_requirement(fig1, {"alpha": 12, "beta": 4}, "c")
+        tight = shared_memory_requirement(fig1, {"alpha": 4, "beta": 2}, "c")
+        assert generous.peak_shared_tokens >= tight.peak_shared_tokens
+
+    def test_deadlocked_distribution_reports_prefix_peak(self, fig1):
+        report = shared_memory_requirement(fig1, {"alpha": 3, "beta": 2}, "c")
+        assert report.throughput == 0
+        assert report.peak_shared_tokens >= 2
+
+
+class TestCompareStorageModels:
+    def test_reports_parallel_the_front(self, fig1):
+        result = explore_design_space(fig1, "c")
+        reports = compare_storage_models(fig1, result.front, "c")
+        assert len(reports) == len(result.front)
+        for point, report in zip(result.front, reports):
+            assert report.distribution_size == point.size
+            assert report.throughput == point.throughput
+            assert report.peak_shared_tokens <= point.size
+
+    def test_savings_on_samplerate(self, samplerate_graph):
+        result = explore_design_space(samplerate_graph)
+        reports = compare_storage_models(samplerate_graph, result.front)
+        # The multirate chain's channels never peak simultaneously at
+        # full capacity, so sharing saves memory somewhere on the front.
+        assert any(report.saving > 0 for report in reports)

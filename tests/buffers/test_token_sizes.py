@@ -1,0 +1,77 @@
+"""Weighted distribution sizes (per-channel token widths)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.enumerate import distributions_of_size
+from repro.buffers.explorer import explore_design_space, minimal_distribution_for_throughput
+from repro.engine.executor import Executor
+from repro.exceptions import ExplorationError
+
+WEIGHTS = {"alpha": 2, "beta": 1}
+
+
+class TestWeightedSize:
+    def test_weighted_size(self):
+        distribution = StorageDistribution({"alpha": 4, "beta": 2})
+        assert distribution.weighted_size(WEIGHTS) == 10
+        assert distribution.weighted_size(None) == 6
+
+    def test_missing_weights_default_to_one(self):
+        distribution = StorageDistribution({"alpha": 4, "beta": 2})
+        assert distribution.weighted_size({"alpha": 3}) == 14
+
+
+class TestWeightedExploration:
+    def test_front_uses_weighted_axis(self, fig1):
+        result = explore_design_space(fig1, "c", token_sizes=WEIGHTS)
+        sizes = result.front.sizes()
+        assert sizes == sorted(set(sizes))
+        # Smallest positive point is (4, 2): weighted 2*4 + 2 = 10.
+        assert result.front.min_positive.size == 10
+        assert result.front.min_positive.throughput == Fraction(1, 7)
+
+    def test_weighted_witness_prefers_cheap_channels(self, fig1):
+        """For throughput 1/6 the unweighted optimum can use (6,2) or
+        (5,3); with alpha twice as wide, (5,3) (weighted 13) beats
+        (6,2) (weighted 14)."""
+        point = minimal_distribution_for_throughput(fig1, Fraction(1, 6), "c", WEIGHTS)
+        assert point.size == 13
+        assert dict(point.distribution) == {"alpha": 5, "beta": 3}
+
+    def test_weighted_minimality_against_brute_force(self, fig1):
+        """No distribution in the bound box with a smaller weighted
+        cost reaches 1/6."""
+        from repro.buffers.bounds import lower_bound_distribution, upper_bound_distribution
+
+        point = minimal_distribution_for_throughput(fig1, Fraction(1, 6), "c", WEIGHTS)
+        lower = lower_bound_distribution(fig1)
+        upper = upper_bound_distribution(fig1)
+        for size in range(lower.size, upper.size + 1):
+            for distribution in distributions_of_size(
+                fig1.channel_names, size, lower, upper
+            ):
+                if distribution.weighted_size(WEIGHTS) < point.size:
+                    thr = Executor(fig1, distribution, "c").run().throughput
+                    assert thr < Fraction(1, 6)
+
+    def test_weighted_front_matches_unweighted_with_unit_weights(self, fig1):
+        unit = {name: 1 for name in fig1.channel_names}
+        weighted = explore_design_space(fig1, "c", token_sizes=unit)
+        plain = explore_design_space(fig1, "c")
+        assert weighted.front == plain.front
+
+    def test_only_dependency_strategy(self, fig1):
+        with pytest.raises(ExplorationError, match="dependency"):
+            explore_design_space(fig1, "c", strategy="divide", token_sizes=WEIGHTS)
+
+    def test_nonpositive_weights_rejected(self, fig1):
+        with pytest.raises(ExplorationError, match="positive"):
+            explore_design_space(fig1, "c", token_sizes={"alpha": 0})
+
+    def test_weighted_max_size_cap(self, fig1):
+        result = explore_design_space(fig1, "c", token_sizes=WEIGHTS, max_size=13)
+        assert all(point.size <= 13 for point in result.front)
+        assert result.front.max_throughput_point.throughput == Fraction(1, 6)

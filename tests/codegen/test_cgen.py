@@ -1,0 +1,46 @@
+"""Unit tests for repro.codegen.cgen — Fig.-8-style C output."""
+
+from repro.codegen.cgen import generate_c
+
+
+def test_macros_match_figure_8(fig1):
+    source = generate_c(fig1, "c")
+    for macro in ("CH(c)", "CHECK_TOKENS", "CHECK_SPACE", "CONSUME", "PRODUCE", "ACT_CLK", "LOWER_CLK"):
+        assert macro in source
+
+
+def test_actor_start_conditions(fig1):
+    source = generate_c(fig1, "c")
+    # a: only space on alpha (channel 0, rate 2).
+    assert "if (ACT_CLK(0) == 0 && CHECK_SPACE(0,2)) { ACT_CLK(0) = 1; }" in source
+    # b: tokens on alpha (3) and space on beta (channel 1, rate 1).
+    assert "if (ACT_CLK(1) == 0 && CHECK_TOKENS(0,3) && CHECK_SPACE(1,1)) { ACT_CLK(1) = 2; }" in source
+    # c: tokens on beta (2).
+    assert "if (ACT_CLK(2) == 0 && CHECK_TOKENS(1,2)) { ACT_CLK(2) = 2; }" in source
+
+
+def test_actor_end_effects(fig1):
+    source = generate_c(fig1, "c")
+    assert "if (ACT_CLK(0) == 1) { PRODUCE(0,2); }" in source
+    assert "if (ACT_CLK(1) == 1) { CONSUME(0,3); PRODUCE(1,1); }" in source
+    assert "CONSUME(1,2); if (storeState(sdfState)) return 1; sdfState.dist = 0;" in source
+
+
+def test_observed_actor_stores_state(fig1):
+    source = generate_c(fig1, "c")
+    assert source.count("storeState") == 1
+    # Observing a different actor moves the store call.
+    source_b = generate_c(fig1, "b")
+    assert "PRODUCE(1,1); if (storeState" in source_b
+
+
+def test_state_struct_sizes(fig1):
+    source = generate_c(fig1, "c")
+    assert "int act_clk[3];" in source
+    assert "int ch[2];" in source
+    assert "static int sz[2];" in source
+
+
+def test_braces_balanced(fig1):
+    source = generate_c(fig1, "c")
+    assert source.count("{") == source.count("}")

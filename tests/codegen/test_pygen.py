@@ -1,0 +1,82 @@
+"""Unit tests for repro.codegen.pygen — the runnable buffy output."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.codegen.pygen import generate_python, load_generated
+from repro.engine.executor import Executor
+from repro.exceptions import GraphError
+from repro.gallery import fig6_example
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture(scope="module")
+def generated_fig1():
+    from repro.gallery import fig1_example
+
+    return load_generated(generate_python(fig1_example(), "c"), "gen_fig1")
+
+
+class TestGeneratedModule:
+    def test_metadata_constants(self, generated_fig1):
+        assert generated_fig1.GRAPH_NAME == "example"
+        assert generated_fig1.ACTOR_NAMES == ("a", "b", "c")
+        assert generated_fig1.CHANNEL_NAMES == ("alpha", "beta")
+        assert generated_fig1.OBSERVE == "c"
+        assert generated_fig1.EXECUTION_TIMES == (1, 2, 2)
+        assert generated_fig1.LOWER_BOUNDS == (4, 2)
+        assert generated_fig1.UPPER_BOUNDS == (12, 4)
+
+    def test_paper_numbers(self, generated_fig1):
+        assert generated_fig1.exec_sdf_graph((4, 2)) == Fraction(1, 7)
+        assert generated_fig1.exec_sdf_graph((6, 2)) == Fraction(1, 6)
+        assert generated_fig1.exec_sdf_graph((3, 2)) == 0
+
+    def test_explore_matches_library_front(self, generated_fig1, fig1):
+        from repro.buffers.explorer import explore_design_space
+
+        generated = [(size, thr) for size, thr, _w in generated_fig1.explore()]
+        library = [(p.size, p.throughput) for p in explore_design_space(fig1, "c").front]
+        assert generated == library
+
+    def test_matches_engine_on_box_sample(self, generated_fig1, fig1):
+        for alpha in range(4, 13, 2):
+            for beta in range(2, 5):
+                expected = Executor(fig1, {"alpha": alpha, "beta": beta}, "c").run().throughput
+                assert generated_fig1.exec_sdf_graph((alpha, beta)) == expected
+
+
+class TestGeneratorInput:
+    def test_initial_tokens_supported(self):
+        graph = (
+            GraphBuilder("loop")
+            .actors({"a": 2, "b": 3})
+            .channel("a", "b", name="f")
+            .channel("b", "a", initial_tokens=1, name="r")
+            .build()
+        )
+        module = load_generated(generate_python(graph, "b"), "gen_loop")
+        expected = Executor(graph, {"f": 1, "r": 1}, "b").run().throughput
+        assert module.exec_sdf_graph((1, 1)) == expected
+
+    def test_fig6_generated(self):
+        graph = fig6_example()
+        module = load_generated(generate_python(graph, "d"), "gen_fig6")
+        caps = tuple(2 for _ in graph.channel_names)
+        expected = Executor(graph, dict(zip(graph.channel_names, caps)), "d").run().throughput
+        assert module.exec_sdf_graph(caps) == expected
+
+    def test_unknown_observe_rejected(self, fig1):
+        with pytest.raises(GraphError, match="unknown observed"):
+            generate_python(fig1, "zz")
+
+    def test_zero_execution_time_rejected(self):
+        graph = GraphBuilder().actors({"a": 0, "b": 1}).channel("a", "b").build()
+        with pytest.raises(GraphError, match="positive execution times"):
+            generate_python(graph, "b")
+
+    def test_source_is_self_contained(self, fig1):
+        source = generate_python(fig1, "c")
+        assert "import repro" not in source
+        assert "from fractions import Fraction" in source

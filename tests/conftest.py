@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gallery import (
+    fig1_example,
+    fig6_example,
+    h263_decoder,
+    modem,
+    sample_rate_converter,
+    satellite_receiver,
+)
+
+
+@pytest.fixture
+def fig1():
+    """The paper's running example (Fig. 1)."""
+    return fig1_example()
+
+
+@pytest.fixture
+def fig6():
+    """The non-unique-minimal-distributions graph (Fig. 6)."""
+    return fig6_example()
+
+
+@pytest.fixture
+def modem_graph():
+    return modem()
+
+
+@pytest.fixture
+def samplerate_graph():
+    return sample_rate_converter()
+
+
+@pytest.fixture
+def satellite_graph():
+    return satellite_receiver()
+
+
+@pytest.fixture
+def h263_small():
+    """A scaled-down H.263 decoder for fast tests."""
+    return h263_decoder(blocks=9)
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded random generator."""
+    return random.Random(20060724)

@@ -1,0 +1,105 @@
+"""Unit tests for the CSDF execution engine."""
+
+import random
+
+from fractions import Fraction
+
+import pytest
+
+from repro.csdf.executor import CSDFExecutor
+from repro.csdf.graph import CSDFGraph, from_sdf
+from repro.engine.executor import Executor
+from repro.exceptions import CapacityError
+from repro.gallery.random_graphs import random_consistent_graph
+
+
+def downsampler():
+    graph = CSDFGraph("down")
+    graph.add_actor("src", (1,))
+    graph.add_actor("ds", (2, 1))
+    graph.add_actor("snk", (1,))
+    graph.add_channel("src", "ds", (1,), (1, 1), name="a")
+    graph.add_channel("ds", "snk", (0, 1), (1,), name="b")
+    return graph
+
+
+class TestCSDFSemantics:
+    def test_downsampler_throughput(self):
+        # ds alternates a 2-step phase and a 1-step phase; snk gets one
+        # token per full cycle (3 steps of ds work, pipelined with src).
+        result = CSDFExecutor(downsampler(), {"a": 2, "b": 1}, "snk").run()
+        assert result.throughput == Fraction(1, 3)
+
+    def test_zero_rate_phase_skips_channel_conditions(self):
+        # Phase 0 of ds produces nothing on b, so a full b never blocks it.
+        graph = downsampler()
+        result = CSDFExecutor(graph, {"a": 2, "b": 1}, "ds", record_schedule=True).run()
+        assert result.throughput > 0
+        # ds fires twice per cycle: phases alternate.
+        assert result.firings_in_cycle % 2 == 0 or result.throughput == Fraction(2, 3)
+
+    def test_phase_cycle_advances(self):
+        graph = downsampler()
+        executor = CSDFExecutor(graph, {"a": 2, "b": 1}, "snk")
+        executor.run()
+        state = executor.state()
+        assert len(state.phases) == 3
+
+    def test_deadlock_on_tiny_capacity(self):
+        result = CSDFExecutor(downsampler(), {"a": 0, "b": 1}, "snk").run()
+        assert result.deadlocked
+        assert result.throughput == 0
+
+    def test_blocking_tracked(self):
+        result = CSDFExecutor(
+            downsampler(), {"a": 1, "b": 1}, "snk", track_blocking=True
+        ).run()
+        assert result.throughput > 0 or result.space_blocked
+
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            CSDFExecutor(downsampler(), {"zz": 1})
+
+    def test_tick_event_equivalent(self):
+        caps = {"a": 2, "b": 1}
+        tick = CSDFExecutor(downsampler(), caps, "snk", mode="tick").run()
+        event = CSDFExecutor(downsampler(), caps, "snk", mode="event").run()
+        assert tick.throughput == event.throughput
+        assert tick.first_firing_time == event.first_firing_time
+
+    def test_schedule_recording(self):
+        result = CSDFExecutor(
+            downsampler(), {"a": 2, "b": 1}, "snk", record_schedule=True
+        ).run()
+        schedule = result.schedule
+        assert schedule.num_firings("ds") >= 2
+        durations = {event.duration for event in schedule.firings("ds")}
+        assert durations == {1, 2}  # the two phase execution times
+
+
+class TestSDFEquivalence:
+    """Single-phase CSDF must behave exactly like the SDF engine."""
+
+    def test_fig1_equivalence(self, fig1):
+        caps = {"alpha": 4, "beta": 2}
+        sdf = Executor(fig1, caps, "c").run()
+        csdf = CSDFExecutor(from_sdf(fig1), caps, "c").run()
+        assert csdf.throughput == sdf.throughput == Fraction(1, 7)
+        assert csdf.first_firing_time == sdf.first_firing_time
+        assert csdf.cycle_duration == sdf.cycle_duration
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graph_equivalence(self, seed):
+        rng = random.Random(seed)
+        graph = random_consistent_graph(rng)
+        caps = {
+            channel.name: max(
+                channel.initial_tokens,
+                channel.production + channel.consumption + rng.randint(0, 3),
+            )
+            for channel in graph.channels.values()
+        }
+        sdf = Executor(graph, caps).run()
+        csdf = CSDFExecutor(from_sdf(graph), caps).run()
+        assert csdf.throughput == sdf.throughput
+        assert csdf.deadlocked == sdf.deadlocked

@@ -1,0 +1,98 @@
+"""Unit tests for the CSDF design-space exploration."""
+
+import random
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.explorer import explore_design_space
+from repro.csdf.executor import CSDFExecutor
+from repro.csdf.explorer import (
+    csdf_max_throughput,
+    csdf_minimal_distribution_for_throughput,
+    explore_csdf_design_space,
+)
+from repro.csdf.graph import CSDFGraph, from_sdf
+from repro.exceptions import ExplorationError
+from repro.gallery.random_graphs import random_consistent_graph
+
+
+def downsampler():
+    graph = CSDFGraph("down")
+    graph.add_actor("src", (1,))
+    graph.add_actor("ds", (2, 1))
+    graph.add_actor("snk", (1,))
+    graph.add_channel("src", "ds", (1,), (1, 1), name="a")
+    graph.add_channel("ds", "snk", (0, 1), (1,), name="b")
+    return graph
+
+
+class TestCSDFMaxThroughput:
+    def test_downsampler(self):
+        # ds needs 3 steps per output token; snk can keep up.
+        assert csdf_max_throughput(downsampler(), "snk") == Fraction(1, 3)
+
+    def test_matches_sdf_on_lifted_graphs(self, fig1):
+        from repro.analysis.throughput import max_throughput
+
+        assert csdf_max_throughput(from_sdf(fig1), "c") == max_throughput(fig1, "c")
+
+
+class TestCSDFDesignSpace:
+    def test_downsampler_front(self):
+        result = explore_csdf_design_space(downsampler(), "snk")
+        assert len(result.front) >= 1
+        assert result.front.max_throughput_point.throughput == Fraction(1, 3)
+        # Witnesses re-execute to their claimed throughput.
+        for point in result.front:
+            measured = CSDFExecutor(downsampler(), point.distribution, "snk").run().throughput
+            assert measured == point.throughput
+
+    def test_front_monotone(self):
+        result = explore_csdf_design_space(downsampler(), "snk")
+        sizes = result.front.sizes()
+        assert sizes == sorted(set(sizes))
+        throughputs = result.front.throughputs()
+        assert throughputs == sorted(set(throughputs))
+
+    def test_matches_sdf_front_on_lifted_fig1(self, fig1):
+        sdf = explore_design_space(fig1, "c")
+        csdf = explore_csdf_design_space(from_sdf(fig1), "c")
+        assert [(p.size, p.throughput) for p in csdf.front] == [
+            (p.size, p.throughput) for p in sdf.front
+        ]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_sdf_front_on_random_graphs(self, seed):
+        graph = random_consistent_graph(
+            random.Random(seed), max_actors=4, max_repetition=3, max_rate_factor=1
+        )
+        sdf = explore_design_space(graph)
+        csdf = explore_csdf_design_space(from_sdf(graph))
+        assert [(p.size, p.throughput) for p in csdf.front] == [
+            (p.size, p.throughput) for p in sdf.front
+        ]
+
+    def test_max_size_restriction(self):
+        full = explore_csdf_design_space(downsampler(), "snk")
+        capped_size = full.front.min_positive.size
+        capped = explore_csdf_design_space(downsampler(), "snk", max_size=capped_size)
+        assert all(point.size <= capped_size for point in capped.front)
+
+
+class TestCSDFMinimalDistribution:
+    def test_constraint_query(self):
+        found = csdf_minimal_distribution_for_throughput(downsampler(), Fraction(1, 3), "snk")
+        assert found is not None
+        distribution, value = found
+        assert value >= Fraction(1, 3)
+        measured = CSDFExecutor(downsampler(), distribution, "snk").run().throughput
+        assert measured == value
+
+    def test_unachievable_returns_none(self):
+        assert csdf_minimal_distribution_for_throughput(downsampler(), Fraction(1, 2), "snk") is None
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ExplorationError):
+            csdf_minimal_distribution_for_throughput(downsampler(), Fraction(0), "snk")

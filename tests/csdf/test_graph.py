@@ -1,0 +1,98 @@
+"""Unit tests for repro.csdf.graph."""
+
+import pytest
+
+from repro.csdf.graph import CSDFActor, CSDFChannel, CSDFGraph, from_sdf
+from repro.exceptions import GraphError, ValidationError
+
+
+def downsampler():
+    graph = CSDFGraph("down")
+    graph.add_actor("src", (1,))
+    graph.add_actor("ds", (1, 1))
+    graph.add_actor("snk", (1,))
+    graph.add_channel("src", "ds", (1,), (1, 1), name="a")
+    graph.add_channel("ds", "snk", (1, 0), (1,), name="b")
+    return graph
+
+
+class TestActors:
+    def test_phases(self):
+        actor = CSDFActor("a", (1, 2, 3))
+        assert actor.num_phases == 3
+
+    def test_zero_execution_times_allowed(self):
+        assert CSDFActor("a", (0, 1)).execution_times == (0, 1)
+
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(GraphError, match="non-empty"):
+            CSDFActor("a", ())
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(GraphError):
+            CSDFActor("a", (1, -1))
+
+
+class TestChannels:
+    def test_totals(self):
+        channel = CSDFChannel("c", "a", "b", (1, 0, 2), (3,))
+        assert channel.total_production == 3
+        assert channel.total_consumption == 3
+
+    def test_all_zero_productions_rejected(self):
+        with pytest.raises(GraphError, match="all production"):
+            CSDFChannel("c", "a", "b", (0, 0), (1,))
+
+    def test_all_zero_consumptions_rejected(self):
+        with pytest.raises(GraphError, match="all consumption"):
+            CSDFChannel("c", "a", "b", (1,), (0, 0))
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(GraphError):
+            CSDFChannel("c", "a", "b", (1,), (1,), -1)
+
+
+class TestGraph:
+    def test_build_downsampler(self):
+        graph = downsampler()
+        assert graph.num_actors == 3
+        assert graph.num_channels == 2
+        assert graph.actor("ds").num_phases == 2
+        assert [c.name for c in graph.outgoing("ds")] == ["b"]
+        assert [c.name for c in graph.incoming("ds")] == ["a"]
+
+    def test_phase_count_mismatch_rejected(self):
+        graph = CSDFGraph()
+        graph.add_actor("a", (1, 1))
+        graph.add_actor("b", (1,))
+        with pytest.raises(ValidationError, match="production phases"):
+            graph.add_channel("a", "b", (1,), (1,))
+        with pytest.raises(ValidationError, match="consumption phases"):
+            graph.add_channel("a", "b", (1, 1), (1, 1))
+
+    def test_duplicate_names_rejected(self):
+        graph = CSDFGraph()
+        graph.add_actor("a", (1,))
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.add_actor("a", (1,))
+
+    def test_unknown_endpoints_rejected(self):
+        graph = CSDFGraph()
+        graph.add_actor("a", (1,))
+        with pytest.raises(GraphError, match="unknown destination"):
+            graph.add_channel("a", "b", (1,), (1,))
+
+    def test_describe(self):
+        text = downsampler().describe()
+        assert "ds t=[1, 1]" in text
+        assert "[1, 0]" in text
+
+
+class TestFromSdf:
+    def test_lifting_preserves_structure(self, fig1):
+        lifted = from_sdf(fig1)
+        assert lifted.actor_names == fig1.actor_names
+        assert lifted.channel_names == fig1.channel_names
+        assert lifted.actor("b").execution_times == (2,)
+        assert lifted.channel("alpha").productions == (2,)
+        assert lifted.channel("alpha").consumptions == (3,)

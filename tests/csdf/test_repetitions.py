@@ -1,0 +1,65 @@
+"""Unit tests for repro.csdf.repetitions."""
+
+import pytest
+
+from repro.csdf.graph import CSDFGraph, from_sdf
+from repro.csdf.repetitions import (
+    csdf_firings_per_iteration,
+    csdf_is_consistent,
+    csdf_repetition_vector,
+)
+from repro.exceptions import InconsistentGraphError
+
+
+def downsampler():
+    graph = CSDFGraph("down")
+    graph.add_actor("src", (1,))
+    graph.add_actor("ds", (1, 1))
+    graph.add_actor("snk", (1,))
+    graph.add_channel("src", "ds", (1,), (1, 1), name="a")
+    graph.add_channel("ds", "snk", (1, 0), (1,), name="b")
+    return graph
+
+
+def test_downsampler_vector():
+    q = csdf_repetition_vector(downsampler())
+    # One phase cycle of ds consumes 2 and emits 1.
+    assert q == {"src": 2, "ds": 1, "snk": 1}
+
+
+def test_firings_per_iteration():
+    firings = csdf_firings_per_iteration(downsampler())
+    assert firings == {"src": 2, "ds": 2, "snk": 1}
+
+
+def test_matches_sdf_on_lifted_graph(fig1):
+    from repro.analysis.repetitions import repetition_vector
+
+    assert csdf_repetition_vector(from_sdf(fig1)) == repetition_vector(fig1)
+
+
+def test_inconsistent_csdf_detected():
+    graph = CSDFGraph()
+    graph.add_actor("a", (1,))
+    graph.add_actor("b", (1, 1))
+    graph.add_channel("a", "b", (1,), (1, 1), name="f")
+    graph.add_channel("b", "a", (1, 1), (1,), name="r")
+    # f: q_a = 2 q_b ; r: 2 q_b = q_a — consistent. Break it:
+    graph2 = CSDFGraph()
+    graph2.add_actor("a", (1,))
+    graph2.add_actor("b", (1, 1))
+    graph2.add_channel("a", "b", (1,), (1, 1), name="f")
+    graph2.add_channel("b", "a", (1, 0), (1,), name="r")
+    assert csdf_is_consistent(graph)
+    assert not csdf_is_consistent(graph2)
+    with pytest.raises(InconsistentGraphError):
+        csdf_repetition_vector(graph2)
+
+
+def test_balance_equations_hold():
+    graph = downsampler()
+    q = csdf_repetition_vector(graph)
+    for channel in graph.channels.values():
+        assert q[channel.source] * channel.total_production == (
+            q[channel.destination] * channel.total_consumption
+        )

@@ -1,0 +1,144 @@
+"""Auto-concurrent execution (extension X12)."""
+
+import random
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.concurrent import ConcurrentExecutor
+from repro.engine.executor import Executor
+from repro.exceptions import CapacityError, EngineError
+from repro.gallery.random_graphs import random_consistent_graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import SDFGraph
+from tests.util import assert_valid_schedule
+
+CAPS_4_2 = {"alpha": 4, "beta": 2}
+
+
+class TestOverlappingFirings:
+    def test_pipelined_consumer_beats_serialised(self):
+        """A slow consumer with enough buffering overlaps its own
+        firings; the serialised engine cannot.  The source is pinned to
+        one firing at a time with a one-token self-loop so the effect
+        is isolated to the consumer."""
+        graph = (
+            GraphBuilder()
+            .actors({"src": 1, "snk": 4})
+            .channel("src", "snk", 1, 1, name="c")
+            .self_loop("src", tokens=1, name="s")
+            .build()
+        )
+        caps = {"c": 8, "s": 2}
+        serialised = Executor(graph, caps, "snk").run().throughput
+        concurrent = ConcurrentExecutor(graph, caps, "snk").run().throughput
+        assert serialised == Fraction(1, 4)
+        # snk keeps four firings in flight, consuming at the source rate.
+        assert concurrent == Fraction(1, 1)
+
+    def test_everything_overlaps_in_bulk(self):
+        """Without any serialisation, both actors batch up to the
+        channel capacity: 8 firings per 5 steps."""
+        graph = (
+            GraphBuilder()
+            .actors({"src": 1, "snk": 4})
+            .channel("src", "snk", 1, 1, name="c")
+            .build()
+        )
+        concurrent = ConcurrentExecutor(graph, {"c": 8}, "snk").run().throughput
+        assert concurrent == Fraction(8, 5)
+
+    def test_fig1_with_auto_concurrency(self, fig1):
+        # b may overlap its two firings per iteration: c is no longer
+        # capped at 1/4.
+        concurrent = ConcurrentExecutor(fig1, {"alpha": 12, "beta": 4}, "c").run()
+        serialised = Executor(fig1, {"alpha": 12, "beta": 4}, "c").run()
+        assert serialised.throughput == Fraction(1, 4)
+        assert concurrent.throughput > serialised.throughput
+
+    def test_never_slower_than_serialised(self, fig1):
+        for caps in (CAPS_4_2, {"alpha": 6, "beta": 2}, {"alpha": 8, "beta": 4}):
+            fast = ConcurrentExecutor(fig1, caps, "c").run().throughput
+            slow = Executor(fig1, caps, "c").run().throughput
+            assert fast >= slow
+
+    def test_schedule_valid_except_overlap(self, fig1):
+        result = ConcurrentExecutor(fig1, CAPS_4_2, "c", record_schedule=True).run()
+        schedule = result.schedule
+        # Firing durations still match execution times.
+        for event in schedule.events:
+            assert event.duration == fig1.actor(event.actor).execution_time
+
+
+class TestSelfLoopEquivalence:
+    """The classical result: one-token rate-1 self-loops serialise an
+    auto-concurrent execution back to the paper's model."""
+
+    @staticmethod
+    def with_self_loops(graph: SDFGraph) -> SDFGraph:
+        clone = graph.copy(graph.name + "-looped")
+        for name in graph.actor_names:
+            clone.add_channel(name, name, 1, 1, 1, name=f"__loop_{name}")
+        return clone
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equivalence_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_consistent_graph(rng)
+        caps = {
+            channel.name: max(
+                channel.initial_tokens,
+                channel.production + channel.consumption + rng.randint(0, 3),
+            )
+            for channel in graph.channels.values()
+        }
+        looped = self.with_self_loops(graph)
+        looped_caps = dict(caps)
+        for name in graph.actor_names:
+            looped_caps[f"__loop_{name}"] = 2  # token + claim space
+
+        serialised = Executor(graph, caps).run()
+        concurrent = ConcurrentExecutor(looped, looped_caps, serialised.observe).run()
+        assert concurrent.throughput == serialised.throughput
+        assert concurrent.deadlocked == serialised.deadlocked
+
+    def test_equivalence_on_fig1(self, fig1):
+        looped = self.with_self_loops(fig1)
+        caps = dict(CAPS_4_2, __loop_a=2, __loop_b=2, __loop_c=2)
+        assert ConcurrentExecutor(looped, caps, "c").run().throughput == Fraction(1, 7)
+
+
+class TestModesAndGuards:
+    def test_tick_event_equivalent(self, fig1):
+        tick = ConcurrentExecutor(fig1, CAPS_4_2, "c", mode="tick").run()
+        event = ConcurrentExecutor(fig1, CAPS_4_2, "c", mode="event").run()
+        assert tick.throughput == event.throughput
+        assert tick.first_firing_time == event.first_firing_time
+
+    def test_deterministic(self, fig1):
+        runs = [ConcurrentExecutor(fig1, CAPS_4_2, "c").run() for _ in range(2)]
+        assert runs[0].throughput == runs[1].throughput
+        assert runs[0].reduced_states == runs[1].reduced_states
+
+    def test_deadlock_detection(self, fig1):
+        result = ConcurrentExecutor(fig1, {"alpha": 3, "beta": 2}, "c").run()
+        assert result.deadlocked
+        assert result.throughput == 0
+
+    def test_capacity_validation(self, fig1):
+        with pytest.raises(CapacityError):
+            ConcurrentExecutor(fig1, {"zz": 1})
+
+    def test_unbounded_source_guard(self, fig1):
+        # With auto-concurrency AND an unbounded channel, the source
+        # would start infinitely many firings in one instant.
+        with pytest.raises(EngineError):
+            ConcurrentExecutor(fig1, {"beta": 2}, "c").run()
+
+    def test_blocking_tracked(self, fig1):
+        result = ConcurrentExecutor(
+            fig1, {"alpha": 3, "beta": 2}, "c", track_blocking=True
+        ).run()
+        assert "alpha" in result.space_blocked
+        assert result.space_deficits["alpha"] >= 1

@@ -1,0 +1,214 @@
+"""Unit tests for repro.engine.executor — the paper's core semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.executor import Executor, execute
+from repro.engine.state import SDFState
+from repro.exceptions import CapacityError, EngineError, GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import SDFGraph
+from tests.util import assert_valid_schedule
+
+CAPS_4_2 = {"alpha": 4, "beta": 2}
+
+
+class TestRunningExample:
+    """The paper's Sec. 4-7 numbers for the Fig. 1 graph under (4, 2)."""
+
+    def test_throughput_one_seventh(self, fig1):
+        assert execute(fig1, CAPS_4_2, "c").throughput == Fraction(1, 7)
+
+    def test_schedule_matches_table_1(self, fig1):
+        result = execute(fig1, CAPS_4_2, "c", record_schedule=True)
+        schedule = result.schedule
+        assert schedule.start_times("a")[:6] == [0, 1, 4, 7, 8, 11]
+        assert schedule.start_times("b")[:4] == [2, 5, 9, 12]
+        assert schedule.start_times("c")[:2] == [7, 14]
+
+    def test_schedule_is_semantically_valid(self, fig1):
+        result = execute(fig1, CAPS_4_2, "c", record_schedule=True)
+        assert_valid_schedule(fig1, result.schedule, CAPS_4_2)
+
+    def test_first_firing_nine_instants_after_start(self, fig1):
+        # Sec. 7: "... reached when c fires for the first time, which is
+        # 9 time instances after the start".
+        result = execute(fig1, CAPS_4_2, "c")
+        assert result.first_firing_time == 9
+
+    def test_periodic_phase_of_seven_steps(self, fig1):
+        result = execute(fig1, CAPS_4_2, "c")
+        assert result.cycle_duration == 7
+        assert result.firings_in_cycle == 1
+        assert result.cycle_states == 1
+
+    def test_reduced_state_space_shape(self, fig1):
+        # Fig. 4: one transient state (d=9) and the cycle state (d=7).
+        result = execute(fig1, CAPS_4_2, "c")
+        distances = [record.distance for record in result.reduced_states]
+        assert distances == [9, 7, 7]
+        assert result.states_stored == 2
+
+    def test_period_property(self, fig1):
+        assert execute(fig1, CAPS_4_2, "c").period == 7
+
+    def test_early_states_match_section_6(self, fig1):
+        # "After 1 time unit ... the state of the SDF graph is thus
+        # equal to (1, 0, 0, 2, 0)."
+        executor = Executor(fig1, CAPS_4_2, "c", mode="tick")
+        states, _cycle_start = executor.explore_full_state_space()
+        assert states[0] == SDFState((1, 0, 0), (0, 0))
+        assert states[1] == SDFState((1, 0, 0), (2, 0))
+        assert states[2] == SDFState((0, 2, 0), (4, 0))
+
+
+class TestDeadlock:
+    def test_alpha_below_bound_deadlocks(self, fig1):
+        result = execute(fig1, {"alpha": 3, "beta": 2}, "c")
+        assert result.deadlocked
+        assert result.throughput == 0
+        assert result.deadlock_time is not None
+        assert result.first_firing_time is None
+
+    def test_period_of_deadlocked_run_raises(self, fig1):
+        from repro.exceptions import DeadlockError
+
+        result = execute(fig1, {"alpha": 3, "beta": 2}, "c")
+        with pytest.raises(DeadlockError):
+            result.period
+
+    def test_token_free_cycle_deadlocks_immediately(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b")
+            .channel("b", "a")
+            .build()
+        )
+        result = execute(graph, None, "b")
+        assert result.deadlocked
+        assert result.deadlock_time == 0
+
+    def test_deadlock_reports_blocked_channels(self, fig1):
+        result = execute(fig1, {"alpha": 3, "beta": 2}, "c", track_blocking=True)
+        assert "alpha" in result.space_blocked
+        assert result.space_deficits["alpha"] >= 1
+
+
+class TestStarvation:
+    def test_observed_actor_starves_while_rest_runs(self):
+        # Component 1 runs forever; component 2 deadlocks (no tokens).
+        graph = (
+            GraphBuilder()
+            .actors({"run1": 1, "run2": 1, "x": 1, "y": 1})
+            .channel("run1", "run2", 1, 1)
+            .channel("x", "y")
+            .channel("y", "x")
+            .build()
+        )
+        result = Executor(graph, {"ch0": 4}, "y", stall_threshold=5).run()
+        assert result.throughput == 0
+        assert result.deadlocked
+
+
+class TestCapacities:
+    def test_unknown_channel_rejected(self, fig1):
+        with pytest.raises(CapacityError, match="unknown channel"):
+            Executor(fig1, {"nope": 3})
+
+    def test_negative_capacity_rejected(self, fig1):
+        with pytest.raises(CapacityError, match="non-negative"):
+            Executor(fig1, {"alpha": -1})
+
+    def test_capacity_below_initial_tokens_rejected(self):
+        graph = GraphBuilder().actors({"a": 1, "b": 1}).channel("a", "b", 1, 1, 5, name="c").build()
+        with pytest.raises(CapacityError, match="below"):
+            Executor(graph, {"c": 4})
+
+    def test_partial_capacities_leave_rest_unbounded(self, fig1):
+        # beta unbounded; alpha at its [GGD02] bound: b's serialisation
+        # is the only limit -> 1/4.  (An unbounded channel *fed by a
+        # faster producer* would grow forever — the state space is then
+        # genuinely infinite, which is why the exploration always works
+        # with finite capacities; see test_max_instants_guard.)
+        result = execute(fig1, {"alpha": 12}, "c")
+        assert result.throughput == Fraction(1, 4)
+
+    def test_unbounded_source_channel_diverges_and_guard_fires(self, fig1):
+        # alpha unbounded: a outruns b, tokens accumulate without bound
+        # and no state ever recurs; the instant guard must catch it.
+        with pytest.raises(EngineError, match="exceeded"):
+            execute(fig1, {"beta": 2}, "c", max_instants=2000)
+
+    def test_zero_capacity_deadlocks_producer(self, fig1):
+        result = execute(fig1, {"alpha": 0, "beta": 2}, "c")
+        assert result.deadlocked
+
+
+class TestEngineGuards:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError, match="empty"):
+            Executor(SDFGraph("empty"))
+
+    def test_unknown_observe_rejected(self, fig1):
+        with pytest.raises(GraphError, match="unknown observed"):
+            Executor(fig1, CAPS_4_2, "zz")
+
+    def test_unknown_mode_rejected(self, fig1):
+        with pytest.raises(EngineError, match="mode"):
+            Executor(fig1, CAPS_4_2, "c", mode="warp")
+
+    def test_max_instants_guard(self, fig1):
+        with pytest.raises(EngineError, match="exceeded"):
+            Executor(fig1, CAPS_4_2, "c", mode="tick", max_instants=3).run()
+
+    def test_divergent_zero_time_cascade_detected(self):
+        graph = GraphBuilder().actors({"src": 0, "snk": 1}).channel("src", "snk").build()
+        with pytest.raises(EngineError, match="zero-execution-time"):
+            execute(graph, None, "snk")
+
+
+class TestZeroExecutionTimes:
+    def test_zero_time_source_fills_channel_instantly(self):
+        graph = GraphBuilder().actors({"src": 0, "snk": 2}).channel("src", "snk").build()
+        result = execute(graph, {"ch0": 3}, "snk")
+        # src fills the channel at t=0 and refills as snk consumes;
+        # snk is the bottleneck: throughput 1/2.
+        assert result.throughput == Fraction(1, 2)
+
+    def test_zero_time_chain_within_one_instant(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "z1": 0, "z2": 0, "snk": 1})
+            .chain("a", "z1", "z2", "snk")
+            .build()
+        )
+        result = execute(graph, {"ch0": 1, "ch1": 1, "ch2": 1}, "snk", record_schedule=True)
+        # The zero-time actors forward tokens within the instant, so the
+        # chain runs at the source rate despite single-token channels.
+        assert result.throughput == Fraction(1, 1)
+        assert_valid_schedule(graph, result.schedule, {"ch0": 1, "ch1": 1, "ch2": 1})
+
+    def test_all_zero_actors_with_bounded_channel(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 0, "b": 1})
+            .channel("a", "b")
+            .channel("b", "a", initial_tokens=1)
+            .build()
+        )
+        result = execute(graph, {"ch0": 1, "ch1": 1}, "b")
+        assert result.throughput == Fraction(1, 1)
+
+
+class TestSelfLoops:
+    def test_self_loop_requires_claim_space(self):
+        # One token, rate-1 self-loop: capacity 1 cannot hold the claim.
+        graph = GraphBuilder().actor("a", 1).self_loop("a", tokens=1, name="s").build()
+        assert execute(graph, {"s": 1}, "a").deadlocked
+        assert execute(graph, {"s": 2}, "a").throughput == 1
+
+    def test_self_loop_serialises_at_token_rate(self):
+        graph = GraphBuilder().actor("a", 3).self_loop("a", tokens=1, name="s").build()
+        assert execute(graph, {"s": 2}, "a").throughput == Fraction(1, 3)

@@ -1,0 +1,66 @@
+"""Full timed state space exploration (Fig. 3 / Theorem 1 / Property 1)."""
+
+import pytest
+
+from repro.engine.executor import Executor
+from repro.exceptions import EngineError
+from repro.graph.builder import GraphBuilder
+
+
+class TestFullStateSpace:
+    def test_fig1_cycle_length_is_the_period(self, fig1):
+        executor = Executor(fig1, {"alpha": 4, "beta": 2}, "c")
+        states, cycle_start = executor.explore_full_state_space()
+        # Property 1: exactly one cycle; its length is the period (7).
+        assert len(states) - cycle_start == 7
+
+    def test_states_are_unique_before_cycle(self, fig1):
+        executor = Executor(fig1, {"alpha": 4, "beta": 2}, "c")
+        states, _cycle_start = executor.explore_full_state_space()
+        assert len(set(states)) == len(states)
+
+    def test_deadlock_shows_as_self_loop(self, fig1):
+        executor = Executor(fig1, {"alpha": 3, "beta": 2}, "c")
+        states, cycle_start = executor.explore_full_state_space()
+        # The cycle is a single idle state (Theorem 1's self-loop).
+        assert len(states) - cycle_start == 1
+        assert states[cycle_start].is_idle
+
+    def test_token_counts_respect_capacities(self, fig1):
+        caps = {"alpha": 4, "beta": 2}
+        executor = Executor(fig1, caps, "c")
+        states, _ = executor.explore_full_state_space()
+        for state in states:
+            alpha, beta = state.tokens
+            assert 0 <= alpha <= 4
+            assert 0 <= beta <= 2
+
+    def test_max_states_guard(self, fig1):
+        executor = Executor(fig1, {"alpha": 4, "beta": 2}, "c")
+        with pytest.raises(EngineError, match="exceeds"):
+            executor.explore_full_state_space(max_states=3)
+
+    def test_mode_restored_after_exploration(self, fig1):
+        executor = Executor(fig1, {"alpha": 4, "beta": 2}, "c", mode="event")
+        executor.explore_full_state_space()
+        assert executor.mode == "event"
+
+    def test_max_throughput_distribution_has_period_four(self, fig1):
+        states, cycle_start = Executor(
+            fig1, {"alpha": 8, "beta": 4}, "c"
+        ).explore_full_state_space()
+        # At maximal throughput 1/4 the cycle spans 4 time steps.
+        assert len(states) - cycle_start == 4
+
+    def test_cycle_invariant_under_restart(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 2, "b": 3})
+            .channel("a", "b")
+            .channel("b", "a", initial_tokens=1)
+            .build()
+        )
+        executor = Executor(graph, {"ch0": 2, "ch1": 2}, "b")
+        first = executor.explore_full_state_space()
+        second = executor.explore_full_state_space()
+        assert first == second

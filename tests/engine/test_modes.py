@@ -1,0 +1,59 @@
+"""Equivalence of the tick-driven and event-driven execution modes."""
+
+import random
+
+import pytest
+
+from repro.engine.executor import Executor
+from repro.gallery import fig1_example, fig6_example, random_consistent_graph
+from repro.graph.builder import GraphBuilder
+
+
+def runs_agree(graph, capacities, observe=None):
+    tick = Executor(graph, capacities, observe, mode="tick", record_schedule=True).run()
+    event = Executor(graph, capacities, observe, mode="event", record_schedule=True).run()
+    assert tick.throughput == event.throughput
+    assert tick.deadlocked == event.deadlocked
+    assert tick.first_firing_time == event.first_firing_time
+    assert tick.cycle_duration == event.cycle_duration
+    assert tick.schedule.events == event.schedule.events
+    return tick
+
+
+class TestModeEquivalence:
+    def test_fig1_running_distribution(self):
+        runs_agree(fig1_example(), {"alpha": 4, "beta": 2}, "c")
+
+    def test_fig1_maximal_distribution(self):
+        runs_agree(fig1_example(), {"alpha": 8, "beta": 2}, "c")
+
+    def test_fig1_deadlock(self):
+        result = runs_agree(fig1_example(), {"alpha": 3, "beta": 2}, "c")
+        assert result.deadlocked
+
+    def test_fig6(self):
+        graph = fig6_example()
+        caps = {name: 1 for name in graph.channel_names}
+        runs_agree(graph, caps, "d")
+
+    def test_large_execution_times(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 50, "b": 70})
+            .channel("a", "b", 2, 3)
+            .build()
+        )
+        runs_agree(graph, {"ch0": 6}, "b")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_consistent_graph(rng)
+        capacities = {
+            channel.name: max(
+                channel.initial_tokens,
+                channel.production + channel.consumption + rng.randint(0, 3),
+            )
+            for channel in graph.channels.values()
+        }
+        runs_agree(graph, capacities)

@@ -1,0 +1,97 @@
+"""Processor-constrained execution (multiprocessor mapping extension)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.executor import Executor
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from tests.util import assert_valid_schedule
+
+
+@pytest.fixture
+def parallel_pair():
+    """Two independent pipelines feeding one sink."""
+    return (
+        GraphBuilder("pair")
+        .actors({"a": 2, "b": 2, "sink": 1})
+        .channel("a", "sink", 1, 1, name="ca")
+        .channel("b", "sink", 1, 1, name="cb")
+        .build()
+    )
+
+
+CAPS = {"ca": 2, "cb": 2}
+
+
+class TestProcessorConstraints:
+    def test_unconstrained_runs_in_parallel(self, parallel_pair):
+        result = Executor(parallel_pair, CAPS, "sink").run()
+        assert result.throughput == Fraction(1, 2)
+
+    def test_shared_processor_serialises(self, parallel_pair):
+        result = Executor(
+            parallel_pair, CAPS, "sink", processors={"a": "p0", "b": "p0"}
+        ).run()
+        # a and b alternate on one processor: sink gets a pair of
+        # tokens every 4 steps instead of every 2.
+        assert result.throughput == Fraction(1, 4)
+
+    def test_distinct_processors_keep_parallelism(self, parallel_pair):
+        result = Executor(
+            parallel_pair, CAPS, "sink", processors={"a": "p0", "b": "p1"}
+        ).run()
+        assert result.throughput == Fraction(1, 2)
+
+    def test_schedule_never_overlaps_on_one_processor(self, parallel_pair):
+        result = Executor(
+            parallel_pair,
+            CAPS,
+            "sink",
+            processors={"a": "p0", "b": "p0"},
+            record_schedule=True,
+        ).run()
+        assert_valid_schedule(parallel_pair, result.schedule, CAPS)
+        events = [e for e in result.schedule.events if e.actor in ("a", "b")]
+        events.sort(key=lambda e: e.start)
+        for first, second in zip(events, events[1:]):
+            assert second.start >= first.end
+
+    def test_priority_is_insertion_order(self, parallel_pair):
+        result = Executor(
+            parallel_pair,
+            CAPS,
+            "sink",
+            processors={"a": "p0", "b": "p0"},
+            record_schedule=True,
+        ).run()
+        # At t=0 both are ready; a (earlier in insertion order) wins.
+        first = min(result.schedule.events, key=lambda e: (e.start, e.end))
+        assert first.actor == "a"
+
+    def test_unknown_actor_rejected(self, parallel_pair):
+        with pytest.raises(GraphError, match="unknown actor"):
+            Executor(parallel_pair, CAPS, processors={"zz": "p0"})
+
+    def test_deterministic(self, parallel_pair):
+        runs = [
+            Executor(
+                parallel_pair, CAPS, "sink", processors={"a": "p0", "b": "p0"},
+                record_schedule=True,
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].schedule.events == runs[1].schedule.events
+
+    def test_single_processor_whole_graph(self, fig1):
+        everything = {name: "cpu" for name in fig1.actor_names}
+        result = Executor(fig1, {"alpha": 4, "beta": 2}, "c", processors=everything).run()
+        # Fully serialised: slower than the 3-processor 1/7, not deadlocked.
+        assert 0 < result.throughput < Fraction(1, 7)
+
+    def test_tick_event_equivalence_with_processors(self, parallel_pair):
+        shared = {"a": "p0", "b": "p0"}
+        tick = Executor(parallel_pair, CAPS, "sink", processors=shared, mode="tick").run()
+        event = Executor(parallel_pair, CAPS, "sink", processors=shared, mode="event").run()
+        assert tick.throughput == event.throughput

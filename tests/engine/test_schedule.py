@@ -1,0 +1,56 @@
+"""Unit tests for repro.engine.schedule."""
+
+from repro.engine.schedule import FiringEvent, Schedule
+from repro.graph.builder import GraphBuilder
+
+
+def make_schedule():
+    graph = GraphBuilder().actors({"a": 2, "b": 1}).channel("a", "b").build()
+    schedule = Schedule(graph)
+    schedule.record("a", 0, 2)
+    schedule.record("b", 2, 3)
+    schedule.record("a", 2, 4)
+    return schedule
+
+
+class TestSchedule:
+    def test_events_in_order(self):
+        schedule = make_schedule()
+        assert [event.actor for event in schedule.events] == ["a", "b", "a"]
+
+    def test_start_times_definition_3(self):
+        schedule = make_schedule()
+        assert schedule.start_times("a") == [0, 2]
+        assert schedule.start_times("b") == [2]
+
+    def test_num_firings_and_horizon(self):
+        schedule = make_schedule()
+        assert schedule.num_firings("a") == 2
+        assert schedule.num_firings("b") == 1
+        assert schedule.horizon == 4
+
+    def test_activity(self):
+        schedule = make_schedule()
+        assert schedule.activity("a", 0) == "start"
+        assert schedule.activity("a", 1) == "running"
+        assert schedule.activity("a", 2) == "start"
+        assert schedule.activity("b", 0) is None
+        assert schedule.activity("b", 2) == "start"
+
+    def test_concurrent_firings(self):
+        schedule = make_schedule()
+        active = {event.actor for event in schedule.concurrent_firings(2)}
+        assert active == {"a", "b"}
+
+    def test_zero_duration_firing(self):
+        graph = GraphBuilder().actor("z", 0).build()
+        schedule = Schedule(graph)
+        schedule.record("z", 3, 3)
+        assert schedule.activity("z", 3) == "start"
+        assert schedule.concurrent_firings(3) == [FiringEvent("z", 3, 3)]
+        assert schedule.events[0].duration == 0
+
+    def test_len_and_repr(self):
+        schedule = make_schedule()
+        assert len(schedule) == 3
+        assert "3 firings" in repr(schedule)

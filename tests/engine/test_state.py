@@ -1,0 +1,30 @@
+"""Unit tests for repro.engine.state."""
+
+from repro.engine.state import ReducedState, SDFState
+
+
+class TestSDFState:
+    def test_as_tuple_layout(self):
+        state = SDFState((1, 0, 2), (4, 0))
+        assert state.as_tuple() == (1, 0, 2, 4, 0)
+
+    def test_is_idle(self):
+        assert SDFState((0, 0), (3, 1)).is_idle
+        assert not SDFState((0, 1), (0, 0)).is_idle
+
+    def test_hashable_and_equal(self):
+        assert SDFState((1,), (2,)) == SDFState((1,), (2,))
+        assert hash(SDFState((1,), (2,))) == hash(SDFState((1,), (2,)))
+        assert SDFState((1,), (2,)) != SDFState((1,), (3,))
+
+    def test_str_matches_definition_5(self):
+        assert str(SDFState((1, 0), (2,))) == "(1, 0, 2)"
+
+
+class TestReducedState:
+    def test_distance_dimension_appended(self):
+        reduced = ReducedState(SDFState((1, 0), (2, 2)), 9)
+        assert str(reduced) == "(1, 0, 2, 2, 9)"
+
+    def test_default_single_firing(self):
+        assert ReducedState(SDFState((0,), (0,)), 5).firings == 1

@@ -1,0 +1,36 @@
+"""Unit tests for repro.engine.statestore."""
+
+from repro.engine.statestore import StateStore
+
+
+class TestStateStore:
+    def test_add_new_states(self):
+        store = StateStore()
+        assert store.add("s0") is None
+        assert store.add("s1") is None
+        assert len(store) == 2
+        assert list(store) == ["s0", "s1"]
+
+    def test_revisit_returns_first_index(self):
+        store = StateStore()
+        store.add("s0")
+        store.add("s1")
+        store.add("s2")
+        assert store.add("s1") == 1
+        # The store is unchanged by the failed insert.
+        assert len(store) == 3
+
+    def test_cycle_slice(self):
+        store = StateStore()
+        for state in ("t0", "t1", "c0", "c1"):
+            store.add(state)
+        index = store.add("c0")
+        assert index == 2
+        assert store.states_from(index) == ["c0", "c1"]
+
+    def test_contains_and_indexing(self):
+        store = StateStore()
+        store.add(("a", 1))
+        assert ("a", 1) in store
+        assert ("b", 2) not in store
+        assert store[0] == ("a", 1)

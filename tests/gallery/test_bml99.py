@@ -1,0 +1,68 @@
+"""The BML99 reconstruction graphs (Figs. 9-11 of the paper)."""
+
+import pytest
+
+from repro.analysis.consistency import is_consistent
+from repro.analysis.deadlock import is_deadlock_free
+from repro.analysis.repetitions import repetition_vector
+from repro.gallery.bml99 import modem, sample_rate_converter, satellite_receiver
+
+
+class TestSampleRateConverter:
+    def test_documented_shape(self, samplerate_graph):
+        assert samplerate_graph.num_actors == 6
+        assert samplerate_graph.num_channels == 5
+
+    def test_cd_to_dat_ratio(self, samplerate_graph):
+        q = repetition_vector(samplerate_graph)
+        # 147 CD samples in, 160 DAT samples out: the 44.1->48 kHz ratio.
+        assert q["cd"] == 147
+        assert q["dat"] == 160
+
+    def test_live(self, samplerate_graph):
+        assert is_consistent(samplerate_graph)
+        assert is_deadlock_free(samplerate_graph)
+
+
+class TestModem:
+    def test_documented_shape(self, modem_graph):
+        assert modem_graph.num_actors == 16
+        assert modem_graph.num_channels == 19
+
+    def test_rate_change_16(self, modem_graph):
+        q = repetition_vector(modem_graph)
+        assert q["in"] == 16
+        assert q["eqlz"] == 1
+        assert q["out"] == 16
+
+    def test_feedback_loops_tokened(self, modem_graph):
+        assert modem_graph.channel("m17").initial_tokens == 1
+        assert modem_graph.channel("m9").initial_tokens == 1
+
+    def test_live(self, modem_graph):
+        assert is_consistent(modem_graph)
+        assert is_deadlock_free(modem_graph)
+
+
+class TestSatelliteReceiver:
+    def test_documented_shape(self, satellite_graph):
+        assert satellite_graph.num_actors == 22
+        assert satellite_graph.num_channels == 26
+
+    def test_downsampling_parameter(self):
+        graph = satellite_receiver(downsampling=3)
+        q = repetition_vector(graph)
+        assert q["src_i"] == 9 * q["mf_i"]
+
+    def test_branches_symmetric(self, satellite_graph):
+        q = repetition_vector(satellite_graph)
+        for actor in ("src", "flt1", "dwn1", "flt2", "dwn2", "mf"):
+            assert q[f"{actor}_i"] == q[f"{actor}_q"]
+
+    def test_invalid_downsampling_rejected(self):
+        with pytest.raises(ValueError):
+            satellite_receiver(downsampling=1)
+
+    def test_live(self, satellite_graph):
+        assert is_consistent(satellite_graph)
+        assert is_deadlock_free(satellite_graph)

@@ -1,0 +1,57 @@
+"""Tests for the extra (non-paper) gallery workloads."""
+
+from repro.analysis.consistency import is_consistent
+from repro.analysis.deadlock import is_deadlock_free
+from repro.analysis.repetitions import repetition_vector
+from repro.buffers.explorer import explore_design_space
+from repro.gallery.extras import bipartite, mp3_decoder
+
+
+class TestBipartite:
+    def test_shape(self):
+        graph = bipartite()
+        assert graph.num_actors == 4
+        assert graph.num_channels == 4
+
+    def test_repetition_vector(self):
+        assert repetition_vector(bipartite()) == {"a": 2, "b": 1, "c": 2, "d": 1}
+
+    def test_live(self):
+        assert is_consistent(bipartite())
+        assert is_deadlock_free(bipartite())
+
+    def test_exploration(self):
+        result = explore_design_space(bipartite(), "d")
+        assert len(result.front) >= 1
+        assert result.max_throughput > 0
+        # All four channels interact; the minimal witness uses more
+        # than the trivial single-channel bounds somewhere.
+        assert result.front.min_positive.size >= result.lower_bounds.size
+
+
+class TestMp3Decoder:
+    def test_shape(self):
+        graph = mp3_decoder()
+        assert graph.num_actors == 14
+        assert graph.num_channels == 14
+
+    def test_stereo_symmetry(self):
+        q = repetition_vector(mp3_decoder())
+        for actor in ("req", "imdct", "synth"):
+            assert q[f"{actor}_l"] == q[f"{actor}_r"]
+
+    def test_live(self):
+        assert is_consistent(mp3_decoder())
+        assert is_deadlock_free(mp3_decoder())
+
+    def test_exploration_completes(self):
+        result = explore_design_space(mp3_decoder())
+        assert len(result.front) >= 1
+        front = result.front
+        assert front.max_throughput_point.throughput == result.max_throughput
+
+    def test_registry_contains_extras(self):
+        from repro.gallery.registry import gallery_graph
+
+        assert gallery_graph("bipartite").num_actors == 4
+        assert gallery_graph("mp3").num_actors == 14

@@ -1,0 +1,49 @@
+"""The H.263 decoder model (Fig. 12 of the paper)."""
+
+import pytest
+
+from repro.analysis.deadlock import is_deadlock_free
+from repro.analysis.repetitions import repetition_vector
+from repro.gallery.h263 import FULL_BLOCKS, h263_decoder
+
+
+def test_full_rate_shape():
+    graph = h263_decoder()
+    assert graph.num_actors == 4
+    assert graph.num_channels == 3
+    assert graph.channel("h1").production == FULL_BLOCKS == 2376
+    assert graph.channel("h3").consumption == 2376
+
+
+def test_documented_execution_times():
+    graph = h263_decoder()
+    times = {name: actor.execution_time for name, actor in graph.actors.items()}
+    assert times == {"vld": 26018, "iq": 559, "idct": 486, "mc": 10958}
+
+
+def test_repetition_vector_full_rate():
+    q = repetition_vector(h263_decoder())
+    assert q == {"vld": 1, "iq": 2376, "idct": 2376, "mc": 1}
+
+
+def test_scaled_variant(h263_small):
+    q = repetition_vector(h263_small)
+    assert q == {"vld": 1, "iq": 9, "idct": 9, "mc": 1}
+    assert is_deadlock_free(h263_small)
+
+
+def test_invalid_blocks_rejected():
+    with pytest.raises(ValueError):
+        h263_decoder(blocks=0)
+
+
+def test_frame_throughput_bottleneck():
+    """For small bursts VLD (26018) dominates the iteration; once the
+    per-block IQ work exceeds it (blocks*559 > 26018), the frame rate
+    drops accordingly."""
+    from fractions import Fraction
+
+    from repro.analysis.throughput import max_throughput
+
+    assert max_throughput(h263_decoder(blocks=4), "mc") == Fraction(1, 26018)
+    assert max_throughput(h263_decoder(blocks=99), "mc") == Fraction(1, 99 * 559)

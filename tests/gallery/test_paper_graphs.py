@@ -1,0 +1,70 @@
+"""The paper's own example graphs reproduce every quoted number."""
+
+from fractions import Fraction
+
+from repro.analysis.repetitions import repetition_vector
+from repro.analysis.throughput import max_throughput, throughput
+from repro.buffers.bounds import lower_bound_distribution
+from repro.buffers.explorer import explore_design_space
+
+
+class TestFig1:
+    """Sec. 2-8 quotes for the running example."""
+
+    def test_shape(self, fig1):
+        assert fig1.num_actors == 3
+        assert fig1.num_channels == 2
+        assert [fig1.actors[a].execution_time for a in "abc"] == [1, 2, 2]
+
+    def test_repetition_vector(self, fig1):
+        assert repetition_vector(fig1) == {"a": 3, "b": 2, "c": 1}
+
+    def test_distribution_4_2_gives_one_seventh(self, fig1):
+        assert throughput(fig1, {"alpha": 4, "beta": 2}, "c") == Fraction(1, 7)
+
+    def test_increasing_alpha_to_six_gives_one_sixth(self, fig1):
+        assert throughput(fig1, {"alpha": 6, "beta": 2}, "c") == Fraction(1, 6)
+
+    def test_four_two_is_smallest_positive(self, fig1):
+        front = explore_design_space(fig1, "c").front
+        assert front.min_positive.size == 6
+        assert {"alpha": 4, "beta": 2} in [dict(w) for w in front.min_positive.witnesses]
+
+    def test_max_throughput_quarter_at_size_ten(self, fig1):
+        front = explore_design_space(fig1, "c").front
+        top = front.max_throughput_point
+        assert top.throughput == Fraction(1, 4)
+        assert top.size == 10
+        assert max_throughput(fig1, "c") == Fraction(1, 4)
+
+    def test_five_two_is_not_minimal(self, fig1):
+        # (5,2) has the same throughput as the smaller (4,2).
+        assert throughput(fig1, {"alpha": 5, "beta": 2}, "c") == Fraction(1, 7)
+
+    def test_lower_bounds_match_section_8(self, fig1):
+        assert dict(lower_bound_distribution(fig1)) == {"alpha": 4, "beta": 2}
+
+
+class TestFig6:
+    """Reconstruction: non-unique minimal storage distributions."""
+
+    def test_shape(self, fig6):
+        assert fig6.num_actors == 4
+        assert fig6.num_channels == 4
+
+    def test_minimal_distributions_not_unique(self, fig6):
+        """Sec. 8: "minimal storage distributions for a certain
+        throughput are not unique" — some Pareto point carries two
+        distinct same-size witnesses."""
+        result = explore_design_space(
+            fig6, "d", strategy="exhaustive", collect_all_witnesses=True
+        )
+        multi = [point for point in result.front if len(point.witnesses) >= 2]
+        assert multi, "expected a Pareto point with several minimal distributions"
+        point = multi[0]
+        vectors = {w.vector(fig6) for w in point.witnesses}
+        assert (2, 2, 2, 1) in vectors
+        assert (2, 1, 2, 2) in vectors
+
+    def test_positive_throughput_achievable(self, fig6):
+        assert max_throughput(fig6, "d") > 0

@@ -1,0 +1,37 @@
+"""The consistent-by-construction random graph generator."""
+
+import random
+
+from repro.analysis.consistency import is_consistent
+from repro.analysis.deadlock import is_deadlock_free
+from repro.gallery.random_graphs import random_consistent_graph
+
+
+def test_generated_graphs_are_consistent(rng):
+    for _ in range(25):
+        assert is_consistent(random_consistent_graph(rng))
+
+
+def test_generated_graphs_are_deadlock_free(rng):
+    for _ in range(25):
+        assert is_deadlock_free(random_consistent_graph(rng))
+
+
+def test_size_limits_respected(rng):
+    for _ in range(10):
+        graph = random_consistent_graph(rng, max_actors=4, max_execution_time=2)
+        assert 2 <= graph.num_actors <= 4
+        assert all(a.execution_time <= 2 for a in graph.actors.values())
+
+
+def test_chain_keeps_graph_connected(rng):
+    from repro.graph.properties import is_weakly_connected
+
+    for _ in range(10):
+        assert is_weakly_connected(random_consistent_graph(rng))
+
+
+def test_deterministic_for_fixed_seed():
+    first = random_consistent_graph(random.Random(7))
+    second = random_consistent_graph(random.Random(7))
+    assert first.describe().split("\n")[1:] == second.describe().split("\n")[1:]

@@ -1,0 +1,29 @@
+"""Gallery registry lookups."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.gallery.registry import gallery_graph, gallery_names
+
+
+def test_names_sorted_and_complete():
+    names = gallery_names()
+    assert names == sorted(names)
+    for expected in ("example", "fig6", "modem", "samplerate", "satellite", "h263", "h263-small"):
+        assert expected in names
+
+
+def test_every_name_constructs():
+    for name in gallery_names():
+        graph = gallery_graph(name)
+        assert graph.num_actors > 0
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(GraphError, match="available:"):
+        gallery_graph("nope")
+
+
+def test_h263_small_is_scaled():
+    assert gallery_graph("h263-small").channel("h1").production == 99
+    assert gallery_graph("h263").channel("h1").production == 2376

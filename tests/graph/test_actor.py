@@ -1,0 +1,65 @@
+"""Unit tests for repro.graph.actor."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.actor import Actor
+from repro.graph.port import Port, PortDirection
+
+
+class TestActorConstruction:
+    def test_defaults(self):
+        actor = Actor("a")
+        assert actor.execution_time == 1
+        assert actor.ports == {}
+
+    def test_zero_execution_time_allowed(self):
+        assert Actor("a", 0).execution_time == 0
+
+    def test_negative_execution_time_rejected(self):
+        with pytest.raises(GraphError, match=">= 0"):
+            Actor("a", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError, match="non-empty"):
+            Actor("")
+
+    def test_float_execution_time_rejected(self):
+        with pytest.raises(GraphError, match="int"):
+            Actor("a", 2.5)
+
+    def test_bool_execution_time_rejected(self):
+        with pytest.raises(GraphError, match="int"):
+            Actor("a", True)
+
+
+class TestActorPorts:
+    def test_add_and_classify_ports(self):
+        actor = Actor("a")
+        actor.add_port(Port("in0", PortDirection.INPUT, 2))
+        actor.add_port(Port("out0", PortDirection.OUTPUT, 3))
+        assert [p.name for p in actor.input_ports()] == ["in0"]
+        assert [p.name for p in actor.output_ports()] == ["out0"]
+
+    def test_duplicate_port_rejected(self):
+        actor = Actor("a")
+        actor.add_port(Port("p", PortDirection.INPUT, 1))
+        with pytest.raises(GraphError, match="already has a port"):
+            actor.add_port(Port("p", PortDirection.OUTPUT, 1))
+
+    def test_fresh_port_name_skips_used(self):
+        actor = Actor("a")
+        actor.add_port(Port("in0", PortDirection.INPUT, 1))
+        assert actor.fresh_port_name(PortDirection.INPUT) == "in1"
+        assert actor.fresh_port_name(PortDirection.OUTPUT) == "out0"
+
+    def test_copy_is_independent(self):
+        actor = Actor("a", 2)
+        actor.add_port(Port("in0", PortDirection.INPUT, 1))
+        clone = actor.copy()
+        clone.add_port(Port("in1", PortDirection.INPUT, 1))
+        assert "in1" not in actor.ports
+        assert clone.execution_time == 2
+
+    def test_str(self):
+        assert str(Actor("b", 5)) == "b(t=5)"

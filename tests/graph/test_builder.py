@@ -1,0 +1,57 @@
+"""Unit tests for repro.graph.builder."""
+
+import pytest
+
+from repro.exceptions import GraphError, ValidationError
+from repro.graph.builder import GraphBuilder
+
+
+class TestBuilder:
+    def test_fluent_chain_builds_fig1(self):
+        graph = (
+            GraphBuilder("example")
+            .actor("a", 1)
+            .actor("b", 2)
+            .actor("c", 2)
+            .channel("a", "b", 2, 3, name="alpha")
+            .channel("b", "c", 1, 2, name="beta")
+            .build()
+        )
+        assert graph.num_actors == 3
+        assert graph.channel("alpha").consumption == 3
+
+    def test_actors_mapping(self):
+        graph = GraphBuilder().actors({"x": 1, "y": 2}).channel("x", "y").build()
+        assert graph.actor("y").execution_time == 2
+        assert graph.channel_names == ["ch0"]
+
+    def test_chain_helper(self):
+        graph = GraphBuilder().actors({"a": 1, "b": 1, "c": 1}).chain("a", "b", "c").build()
+        assert graph.num_channels == 2
+        assert [c.name for c in graph.outgoing("a")] == ["ch0"]
+
+    def test_chain_needs_two_actors(self):
+        with pytest.raises(GraphError, match="two actors"):
+            GraphBuilder().actor("a").chain("a")
+
+    def test_self_loop_helper(self):
+        graph = GraphBuilder().actor("a").self_loop("a", tokens=2, name="state").build()
+        channel = graph.channel("state")
+        assert channel.is_self_loop
+        assert channel.initial_tokens == 2
+
+    def test_builder_single_use(self):
+        builder = GraphBuilder().actor("a")
+        builder.build()
+        with pytest.raises(GraphError, match="already produced"):
+            builder.actor("b")
+        with pytest.raises(GraphError, match="already produced"):
+            builder.build()
+
+    def test_build_validates_by_default(self):
+        with pytest.raises(ValidationError, match="no actors"):
+            GraphBuilder().build()
+
+    def test_build_can_skip_validation(self):
+        graph = GraphBuilder().build(validate=False)
+        assert graph.num_actors == 0

@@ -1,0 +1,57 @@
+"""Unit tests for repro.graph.channel."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.channel import Channel
+
+
+class TestChannelConstruction:
+    def test_valid(self):
+        channel = Channel("alpha", "a", "b", 2, 3, 1)
+        assert channel.production == 2
+        assert channel.consumption == 3
+        assert channel.initial_tokens == 1
+
+    def test_defaults(self):
+        channel = Channel("c", "a", "b", 1, 1)
+        assert channel.initial_tokens == 0
+
+    def test_zero_production_rejected(self):
+        with pytest.raises(GraphError, match="production"):
+            Channel("c", "a", "b", 0, 1)
+
+    def test_zero_consumption_rejected(self):
+        with pytest.raises(GraphError, match="consumption"):
+            Channel("c", "a", "b", 1, 0)
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(GraphError, match="initial tokens"):
+            Channel("c", "a", "b", 1, 1, -1)
+
+    def test_non_integer_tokens_rejected(self):
+        with pytest.raises(GraphError, match="initial tokens"):
+            Channel("c", "a", "b", 1, 1, 0.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError, match="non-empty"):
+            Channel("", "a", "b", 1, 1)
+
+
+class TestChannelProperties:
+    def test_self_loop_detection(self):
+        assert Channel("c", "a", "a", 1, 1, 1).is_self_loop
+        assert not Channel("c", "a", "b", 1, 1).is_self_loop
+
+    def test_str_shows_rates_and_tokens(self):
+        text = str(Channel("alpha", "a", "b", 2, 3, 4))
+        assert "a -2-> 3- b" in text
+        assert "4 tok" in text
+
+    def test_str_omits_zero_tokens(self):
+        assert "tok" not in str(Channel("alpha", "a", "b", 2, 3))
+
+    def test_frozen(self):
+        channel = Channel("c", "a", "b", 1, 1)
+        with pytest.raises(AttributeError):
+            channel.production = 2

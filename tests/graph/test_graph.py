@@ -1,0 +1,145 @@
+"""Unit tests for repro.graph.graph (SDFGraph container)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.actor import Actor
+from repro.graph.graph import SDFGraph, merge_graphs
+
+
+@pytest.fixture
+def small():
+    graph = SDFGraph("small")
+    graph.add_actor("a", 1)
+    graph.add_actor("b", 2)
+    graph.add_channel("a", "b", 2, 3, 1, name="alpha")
+    return graph
+
+
+class TestConstruction:
+    def test_add_actor_by_name(self):
+        graph = SDFGraph()
+        actor = graph.add_actor("a", 4)
+        assert actor.execution_time == 4
+
+    def test_add_actor_object(self):
+        graph = SDFGraph()
+        graph.add_actor(Actor("a", 7))
+        assert graph.actor("a").execution_time == 7
+
+    def test_actor_object_with_execution_time_rejected(self):
+        graph = SDFGraph()
+        with pytest.raises(GraphError, match="actor name"):
+            graph.add_actor(Actor("a"), 3)
+
+    def test_duplicate_actor_rejected(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.add_actor("a")
+
+    def test_channel_to_unknown_actor_rejected(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        with pytest.raises(GraphError, match="unknown destination"):
+            graph.add_channel("a", "b", 1, 1)
+        with pytest.raises(GraphError, match="unknown source"):
+            graph.add_channel("b", "a", 1, 1)
+
+    def test_duplicate_channel_name_rejected(self, small):
+        with pytest.raises(GraphError, match="duplicate channel"):
+            small.add_channel("a", "b", 1, 1, name="alpha")
+
+    def test_auto_channel_names_avoid_collisions(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.add_channel("a", "b", 1, 1, name="ch0")
+        auto = graph.add_channel("a", "b", 1, 1)
+        assert auto.name == "ch1"
+
+    def test_channel_creates_ports(self, small):
+        channel = small.channel("alpha")
+        assert small.actor("a").ports[channel.source_port].rate == 2
+        assert small.actor("b").ports[channel.destination_port].rate == 3
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            SDFGraph("")
+
+
+class TestAccess:
+    def test_lookup_errors(self, small):
+        with pytest.raises(GraphError, match="unknown actor"):
+            small.actor("zz")
+        with pytest.raises(GraphError, match="unknown channel"):
+            small.channel("zz")
+        with pytest.raises(GraphError, match="unknown actor"):
+            small.incoming("zz")
+        with pytest.raises(GraphError, match="unknown actor"):
+            small.outgoing("zz")
+
+    def test_adjacency(self, small):
+        assert [c.name for c in small.outgoing("a")] == ["alpha"]
+        assert [c.name for c in small.incoming("b")] == ["alpha"]
+        assert small.incoming("a") == []
+
+    def test_indices_follow_insertion_order(self, small):
+        assert small.actor_names == ["a", "b"]
+        assert small.actor_index("b") == 1
+        assert small.channel_index("alpha") == 0
+
+    def test_index_of_unknown_raises(self, small):
+        with pytest.raises(GraphError):
+            small.actor_index("zz")
+        with pytest.raises(GraphError):
+            small.channel_index("zz")
+
+    def test_counts_and_iteration(self, small):
+        assert small.num_actors == 2
+        assert small.num_channels == 1
+        assert len(small) == 2
+        assert {actor.name for actor in small} == {"a", "b"}
+        assert "a" in small and "alpha" in small and "zz" not in small
+
+
+class TestDerivatives:
+    def test_copy_is_deep(self, small):
+        clone = small.copy()
+        clone.add_actor("c")
+        clone.add_channel("b", "c", 1, 1)
+        assert small.num_actors == 2
+        assert small.num_channels == 1
+        assert clone.channel("alpha").initial_tokens == 1
+
+    def test_with_execution_times(self, small):
+        fast = small.with_execution_times({"b": 9})
+        assert fast.actor("b").execution_time == 9
+        assert small.actor("b").execution_time == 2
+        # Ports survive the retiming.
+        assert fast.actor("b").ports
+
+    def test_with_initial_tokens(self, small):
+        tokened = small.with_initial_tokens({"alpha": 5})
+        assert tokened.channel("alpha").initial_tokens == 5
+        assert small.channel("alpha").initial_tokens == 1
+
+    def test_to_networkx(self, small):
+        nxg = small.to_networkx()
+        assert set(nxg.nodes) == {"a", "b"}
+        assert nxg["a"]["b"]["alpha"]["production"] == 2
+
+    def test_describe_mentions_everything(self, small):
+        text = small.describe()
+        assert "a(t=1)" in text
+        assert "alpha" in text
+
+
+class TestMerge:
+    def test_merge_prefixes_names(self, small):
+        other = small.copy("other")
+        merged = merge_graphs([small, other])
+        assert merged.num_actors == 4
+        assert "small.a" in merged.actors
+        assert "other.alpha" in merged.channels
+        assert merged.channel("small.alpha").initial_tokens == 1

@@ -1,0 +1,58 @@
+"""Unit tests for repro.graph.port."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.port import Port, PortDirection
+
+
+class TestPortConstruction:
+    def test_valid_input_port(self):
+        port = Port("in0", PortDirection.INPUT, 3)
+        assert port.name == "in0"
+        assert port.rate == 3
+        assert port.is_input
+        assert not port.is_output
+
+    def test_valid_output_port(self):
+        port = Port("out0", PortDirection.OUTPUT, 1)
+        assert port.is_output
+        assert not port.is_input
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError, match="non-empty"):
+            Port("", PortDirection.INPUT, 1)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(GraphError, match="positive"):
+            Port("p", PortDirection.INPUT, 0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(GraphError, match="positive"):
+            Port("p", PortDirection.OUTPUT, -2)
+
+    def test_non_integer_rate_rejected(self):
+        with pytest.raises(GraphError, match="int"):
+            Port("p", PortDirection.INPUT, 1.5)
+
+    def test_bool_rate_rejected(self):
+        with pytest.raises(GraphError, match="int"):
+            Port("p", PortDirection.INPUT, True)
+
+
+class TestPortValueSemantics:
+    def test_ports_are_immutable(self):
+        port = Port("p", PortDirection.INPUT, 2)
+        with pytest.raises(AttributeError):
+            port.rate = 3
+
+    def test_equality(self):
+        assert Port("p", PortDirection.INPUT, 2) == Port("p", PortDirection.INPUT, 2)
+        assert Port("p", PortDirection.INPUT, 2) != Port("p", PortDirection.OUTPUT, 2)
+
+    def test_str_mentions_direction_and_rate(self):
+        assert str(Port("p", PortDirection.OUTPUT, 7)) == "p[out,7]"
+
+    def test_direction_str(self):
+        assert str(PortDirection.INPUT) == "in"
+        assert str(PortDirection.OUTPUT) == "out"

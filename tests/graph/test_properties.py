@@ -1,0 +1,90 @@
+"""Unit tests for repro.graph.properties."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import SDFGraph
+from repro.graph import properties as props
+
+
+@pytest.fixture
+def cyclic():
+    return (
+        GraphBuilder("cyclic")
+        .actors({"a": 1, "b": 1, "c": 1})
+        .channel("a", "b")
+        .channel("b", "c")
+        .channel("c", "a", initial_tokens=2)
+        .build()
+    )
+
+
+class TestConnectivity:
+    def test_chain_connected(self, fig1):
+        assert props.is_weakly_connected(fig1)
+
+    def test_disconnected(self):
+        graph = GraphBuilder().actors({"a": 1, "b": 1}).build()
+        assert not props.is_weakly_connected(graph)
+        components = props.weakly_connected_components(graph)
+        assert sorted(map(sorted, components)) == [["a"], ["b"]]
+
+    def test_single_actor_connected(self):
+        graph = GraphBuilder().actor("a").build()
+        assert props.is_weakly_connected(graph)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            props.is_weakly_connected(SDFGraph("empty"))
+
+
+class TestCycles:
+    def test_acyclic_chain(self, fig1):
+        assert props.is_acyclic(fig1)
+        assert props.simple_cycles(fig1) == []
+
+    def test_cycle_detected(self, cyclic):
+        assert not props.is_acyclic(cyclic)
+        cycles = props.simple_cycles(cyclic)
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"a", "b", "c"}
+
+    def test_tokens_break_dependency_cycle(self, cyclic):
+        assert props.is_acyclic(cyclic, ignore_initial_tokens=True)
+        assert not props.has_token_free_cycle(cyclic)
+
+    def test_token_free_cycle(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b")
+            .channel("b", "a")
+            .build()
+        )
+        assert props.has_token_free_cycle(graph)
+
+
+class TestTopology:
+    def test_sources_and_sinks(self, fig1):
+        assert props.source_actors(fig1) == ["a"]
+        assert props.sink_actors(fig1) == ["c"]
+
+    def test_topological_order_respects_edges(self, fig1):
+        order = props.topological_order(fig1)
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_order_through_tokens(self, cyclic):
+        order = props.topological_order(cyclic)
+        assert order.index("a") < order.index("b")
+
+    def test_topological_order_fails_on_token_free_cycle(self):
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b")
+            .channel("b", "a")
+            .build()
+        )
+        with pytest.raises(GraphError, match="cycle without initial tokens"):
+            props.topological_order(graph)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.graph.validation."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.channel import Channel
+from repro.graph.graph import SDFGraph
+from repro.graph.validation import validate_graph
+
+
+def test_valid_graph_passes(fig1):
+    validate_graph(fig1)
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(ValidationError, match="no actors"):
+        validate_graph(SDFGraph("empty"))
+
+
+def test_actor_only_graph_passes():
+    graph = SDFGraph()
+    graph.add_actor("a")
+    validate_graph(graph)
+
+
+def _corrupt(graph: SDFGraph, **overrides) -> SDFGraph:
+    """Replace channel 'alpha' with a tampered copy (bypassing add_channel)."""
+    original = graph.channel("alpha")
+    fields = {
+        "name": original.name,
+        "source": original.source,
+        "destination": original.destination,
+        "production": original.production,
+        "consumption": original.consumption,
+        "initial_tokens": original.initial_tokens,
+        "source_port": original.source_port,
+        "destination_port": original.destination_port,
+    }
+    fields.update(overrides)
+    graph._channels["alpha"] = Channel(**fields)
+    return graph
+
+
+def test_dangling_source_port_detected(fig1):
+    graph = _corrupt(fig1, source_port="nope")
+    with pytest.raises(ValidationError, match="no port"):
+        validate_graph(graph)
+
+
+def test_rate_mismatch_detected(fig1):
+    graph = _corrupt(fig1, production=9)
+    with pytest.raises(ValidationError, match="rate mismatch"):
+        validate_graph(graph)
+
+
+def test_wrong_direction_detected(fig1):
+    # Point the channel's source at the *input* port of actor b.
+    beta = fig1.channel("beta")
+    graph = _corrupt(
+        fig1,
+        source="b",
+        source_port=fig1.channel("alpha").destination_port,
+        production=3,
+    )
+    del beta
+    with pytest.raises(ValidationError, match="not an output"):
+        validate_graph(graph)
+
+
+def test_shared_port_detected():
+    graph = GraphBuilder().actors({"a": 1, "b": 1}).channel("a", "b", name="alpha").build()
+    original = graph.channel("alpha")
+    clone = Channel(
+        "alpha2",
+        original.source,
+        original.destination,
+        original.production,
+        original.consumption,
+        source_port=original.source_port,
+        destination_port=original.destination_port,
+    )
+    graph._channels["alpha2"] = clone
+    with pytest.raises(ValidationError, match="more than one channel"):
+        validate_graph(graph)

@@ -1,0 +1,39 @@
+"""Smoke tests: the CLI handles every bundled gallery graph."""
+
+import pytest
+
+from repro.cli import main
+from repro.gallery.registry import gallery_names
+
+#: Graphs cheap enough for a full exploration in the smoke test.
+_FULL_EXPLORE = ("example", "fig6", "bipartite", "modem")
+
+
+@pytest.mark.parametrize("name", gallery_names())
+def test_bounds_work_for_every_graph(name, capsys):
+    assert main([f"gallery:{name}", "--bounds"]) == 0
+    out = capsys.readouterr().out
+    assert "lower bounds" in out
+    assert "upper bounds" in out
+
+
+@pytest.mark.parametrize("name", gallery_names())
+def test_dot_export_for_every_graph(name, capsys):
+    assert main([f"gallery:{name}", "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph")
+
+
+@pytest.mark.parametrize("name", _FULL_EXPLORE)
+def test_full_exploration_smoke(name, capsys):
+    assert main([f"gallery:{name}"]) == 0
+    out = capsys.readouterr().out
+    assert "Pareto points:" in out
+    assert "maximal throughput:" in out
+
+
+def test_xml_roundtrip_through_cli(tmp_path, capsys):
+    exported = tmp_path / "roundtrip.xml"
+    assert main(["gallery:modem", "--export-xml", str(exported), "--bounds"]) == 0
+    capsys.readouterr()
+    assert main([str(exported), "--bounds"]) == 0
+    assert "lower bounds" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""Full design-space explorations of every experiment graph.
+
+These are the library-level versions of the paper's Sec. 11
+experiments; the benchmark harness regenerates the tables and figures
+from the same calls.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.explorer import explore_design_space
+from repro.engine.executor import Executor
+from repro.gallery import (
+    fig1_example,
+    h263_decoder,
+    modem,
+    sample_rate_converter,
+    satellite_receiver,
+)
+from repro.reporting.tables import table2, table2_row
+
+
+@pytest.fixture(scope="module")
+def explorations():
+    graphs = {
+        "example": fig1_example(),
+        "modem": modem(),
+        "samplerate": sample_rate_converter(),
+        "satellite": satellite_receiver(),
+        "h263": h263_decoder(blocks=9),
+    }
+    return {name: (graph, explore_design_space(graph)) for name, (graph) in graphs.items()}
+
+
+class TestShapes:
+    def test_every_graph_has_a_nonempty_staircase(self, explorations):
+        for name, (_graph, result) in explorations.items():
+            assert len(result.front) >= 1, name
+            sizes = result.front.sizes()
+            assert sizes == sorted(set(sizes)), name
+            throughputs = result.front.throughputs()
+            assert throughputs == sorted(set(throughputs)), name
+
+    def test_front_spans_from_lb_to_max(self, explorations):
+        for name, (_graph, result) in explorations.items():
+            assert result.front.min_positive.size >= result.lower_bounds.size, name
+            assert result.front.max_throughput_point.throughput == result.max_throughput, name
+
+    def test_witnesses_verify_by_reexecution(self, explorations):
+        for name, (graph, result) in explorations.items():
+            for point in result.front:
+                measured = Executor(graph, point.distribution, result.observe).run().throughput
+                assert measured == point.throughput, name
+
+    def test_below_first_pareto_size_deadlocks(self, explorations):
+        """The minimal positive-throughput size is exactly minimal: the
+        lower-bound distribution either is it, or deadlocks."""
+        for name, (graph, result) in explorations.items():
+            first = result.front.min_positive
+            lb = result.lower_bounds
+            at_lb = Executor(graph, lb, result.observe).run().throughput
+            if first.size > lb.size:
+                assert at_lb == 0, name
+            else:
+                assert at_lb == first.throughput, name
+
+
+class TestKnownValues:
+    def test_example_front(self, explorations):
+        _graph, result = explorations["example"]
+        assert [(p.size, p.throughput) for p in result.front] == [
+            (6, Fraction(1, 7)),
+            (8, Fraction(1, 6)),
+            (9, Fraction(1, 5)),
+            (10, Fraction(1, 4)),
+        ]
+
+    def test_modem_reaches_half(self, explorations):
+        _graph, result = explorations["modem"]
+        assert result.max_throughput == Fraction(1, 2)
+        assert result.front.min_positive.size == 49
+
+    def test_samplerate_front_has_many_steps(self, explorations):
+        _graph, result = explorations["samplerate"]
+        assert len(result.front) >= 5
+
+    def test_h263_has_many_close_pareto_points(self, explorations):
+        """The phenomenon motivating quantisation (Sec. 11)."""
+        _graph, result = explorations["h263"]
+        assert len(result.front) >= 10
+        throughputs = result.front.throughputs()
+        gaps = [b - a for a, b in zip(throughputs, throughputs[1:])]
+        assert min(gaps) < result.max_throughput / 50
+
+
+class TestTable2Generation:
+    def test_rows_render(self, explorations):
+        rows = [
+            table2_row(graph, result.observe, result)
+            for _name, (graph, result) in explorations.items()
+        ]
+        text = table2(rows)
+        assert "example" in text and "modem" in text and "h263decoder" in text
+        assert "#pareto" in text

@@ -1,0 +1,130 @@
+"""End-to-end reproduction of every number the paper quotes.
+
+One test per claim, all driven through the public API only.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+import repro
+from repro import (
+    GraphBuilder,
+    execute,
+    explore_design_space,
+    max_throughput,
+    minimal_distribution_for_throughput,
+    repetition_vector,
+    throughput,
+)
+from repro.gallery import fig1_example
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return fig1_example()
+
+
+@pytest.fixture(scope="module")
+def space(graph):
+    return explore_design_space(graph, "c")
+
+
+class TestSection4Schedule:
+    def test_table1_new_iteration_every_7_steps(self, graph):
+        """'A new iteration is initiated after every 7 time steps.'"""
+        result = execute(graph, {"alpha": 4, "beta": 2}, "c", record_schedule=True)
+        starts = result.schedule.start_times("c")
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert len(gaps) >= 2
+        assert set(gaps) == {7}
+
+
+class TestSection5Throughput:
+    def test_c_fires_every_7_steps_throughput_one_seventh(self, graph):
+        assert throughput(graph, {"alpha": 4, "beta": 2}, "c") == Fraction(1, 7)
+
+    def test_throughput_ratios_follow_repetition_vector(self, graph):
+        """'the throughput of each pair of actors ... related via a
+        constant' (the repetition vector)."""
+        q = repetition_vector(graph)
+        caps = {"alpha": 4, "beta": 2}
+        base = throughput(graph, caps, "c") / q["c"]
+        for actor in ("a", "b"):
+            assert throughput(graph, caps, actor) == base * q[actor]
+
+
+class TestSection7ReducedSpace:
+    def test_first_firing_9_instants_then_7_cycle(self, graph):
+        result = execute(graph, {"alpha": 4, "beta": 2}, "c")
+        assert result.first_firing_time == 9
+        assert result.cycle_duration == 7
+        assert [r.distance for r in result.reduced_states] == [9, 7, 7]
+
+
+class TestSection8DesignSpace:
+    def test_pareto_space_of_fig5(self, space):
+        """Fig. 5 plus the text's quoted points: (4,2) smallest with
+        positive throughput; alpha=6 raises it to 1/6; maximal 1/4 at
+        size 10; nothing improves beyond size 10."""
+        front = space.front
+        assert front.min_positive.size == 6
+        assert front.min_positive.throughput == Fraction(1, 7)
+        assert front.throughput_at(8) == Fraction(1, 6)
+        assert front.max_throughput_point.size == 10
+        assert front.max_throughput_point.throughput == Fraction(1, 4)
+
+    def test_throughput_capped_at_one_quarter(self, graph):
+        """'The throughput of the actor c ... can never go above 0.25,
+        as actor b always has to fire twice (requiring 4 time steps)'"""
+        assert max_throughput(graph, "c") == Fraction(1, 4)
+        assert throughput(graph, {"alpha": 100, "beta": 100}, "c") == Fraction(1, 4)
+
+    def test_4_2_and_6_2_minimal_but_5_2_not(self, graph, space):
+        witnesses_6 = [dict(w) for w in space.front[0].witnesses]
+        assert {"alpha": 4, "beta": 2} in witnesses_6
+        assert throughput(graph, {"alpha": 6, "beta": 2}, "c") == Fraction(1, 6)
+        # (5,2) realises only 1/7, already available at size 6.
+        assert throughput(graph, {"alpha": 5, "beta": 2}, "c") == Fraction(1, 7)
+
+    def test_bounds_box_of_fig7(self, space):
+        assert dict(space.lower_bounds) == {"alpha": 4, "beta": 2}
+        assert space.lower_bounds.size == 6
+        assert space.upper_bounds.size == 16
+
+
+class TestSection9Queries:
+    def test_minimal_distribution_under_constraint(self, graph):
+        point = minimal_distribution_for_throughput(graph, Fraction(1, 6), "c")
+        assert point.size == 8
+
+    def test_exploration_strategies_equal(self, graph):
+        fronts = [
+            explore_design_space(graph, "c", strategy=s).front
+            for s in ("dependency", "divide", "exhaustive")
+        ]
+        assert fronts[0] == fronts[1] == fronts[2]
+
+
+class TestPublicApiSurface:
+    def test_quickstart_docstring_example(self):
+        graph = (
+            GraphBuilder("example")
+            .actor("a", 1)
+            .actor("b", 2)
+            .actor("c", 2)
+            .channel("a", "b", 2, 3, name="alpha")
+            .channel("b", "c", 1, 2, name="beta")
+            .build()
+        )
+        space = explore_design_space(graph, observe="c")
+        assert [(p.size, str(p.throughput)) for p in space.front] == [
+            (6, "1/7"),
+            (8, "1/6"),
+            (9, "1/5"),
+            (10, "1/4"),
+        ]
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

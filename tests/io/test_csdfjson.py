@@ -1,0 +1,76 @@
+"""Unit tests for repro.io.csdfjson."""
+
+import pytest
+
+from repro.csdf.graph import CSDFGraph, from_sdf
+from repro.exceptions import ParseError
+from repro.io.csdfjson import csdf_from_dict, csdf_to_dict, read_csdf_json, write_csdf_json
+
+
+def decimator():
+    graph = CSDFGraph("decimator")
+    graph.add_actor("src", (1,))
+    graph.add_actor("decim", (2, 1))
+    graph.add_channel("src", "decim", (1,), (1, 1), 1, name="a")
+    return graph
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        graph = decimator()
+        restored = csdf_from_dict(csdf_to_dict(graph))
+        assert restored.name == "decimator"
+        assert restored.actor("decim").execution_times == (2, 1)
+        assert restored.channel("a").consumptions == (1, 1)
+        assert restored.channel("a").initial_tokens == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "g.json"
+        write_csdf_json(decimator(), path)
+        restored = read_csdf_json(path)
+        assert restored.channel_names == ["a"]
+        assert csdf_to_dict(restored) == csdf_to_dict(decimator())
+
+    def test_model_marker_written(self):
+        assert csdf_to_dict(decimator())["model"] == "csdf"
+
+    def test_lifted_sdf_roundtrip(self, fig1):
+        lifted = from_sdf(fig1)
+        restored = csdf_from_dict(csdf_to_dict(lifted))
+        assert restored.channel("alpha").productions == (2,)
+
+
+class TestLenientParsing:
+    def test_scalar_rates_accepted(self):
+        graph = csdf_from_dict(
+            {
+                "actors": [
+                    {"name": "a", "execution_time": 2},
+                    {"name": "b", "execution_times": [1, 3]},
+                ],
+                "channels": [
+                    {"source": "a", "destination": "b", "production": 2, "consumptions": [1, 1]}
+                ],
+            }
+        )
+        assert graph.actor("a").execution_times == (2,)
+        assert graph.channel("ch0").productions == (2,)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ParseError, match="malformed"):
+            csdf_from_dict({"actors": [{"name": "a"}], "channels": [{"source": "a"}]})
+
+    def test_malformed_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(ParseError, match="malformed JSON"):
+            read_csdf_json(path)
+
+    def test_behaviour_preserved(self):
+        from repro.csdf.executor import CSDFExecutor
+
+        graph = decimator()
+        restored = csdf_from_dict(csdf_to_dict(graph))
+        original = CSDFExecutor(graph, {"a": 2}, "decim").run().throughput
+        reloaded = CSDFExecutor(restored, {"a": 2}, "decim").run().throughput
+        assert original == reloaded

@@ -1,0 +1,28 @@
+"""Unit tests for repro.io.dot."""
+
+from repro.gallery import modem
+from repro.io.dot import to_dot
+
+
+def test_contains_actors_and_channels(fig1):
+    dot = to_dot(fig1)
+    assert dot.startswith('digraph "example"')
+    assert '"a" [label="a\\nt=1"]' in dot
+    assert '"a" -> "b"' in dot
+    assert 'taillabel="2"' in dot
+    assert 'headlabel="3"' in dot
+
+
+def test_initial_tokens_annotated():
+    dot = to_dot(modem())
+    assert "m17 (1•)" in dot
+
+
+def test_rankdir_configurable(fig1):
+    assert "rankdir=TB" in to_dot(fig1, rankdir="TB")
+
+
+def test_output_is_balanced(fig1):
+    dot = to_dot(fig1)
+    assert dot.count("{") == dot.count("}")
+    assert dot.endswith("}\n")

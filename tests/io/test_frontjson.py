@@ -1,0 +1,43 @@
+"""Unit tests for repro.io.frontjson."""
+
+import json
+from fractions import Fraction
+
+from repro.buffers.explorer import explore_design_space
+from repro.io.frontjson import front_to_dict, parse_throughput, result_to_dict, write_result_json
+
+
+def test_front_serialisation(fig1):
+    result = explore_design_space(fig1, "c")
+    data = front_to_dict(result.front)
+    assert [entry["size"] for entry in data] == [6, 8, 9, 10]
+    assert data[0]["throughput"] == "1/7"
+    assert abs(data[0]["throughput_float"] - 1 / 7) < 1e-12
+    assert {"alpha": 4, "beta": 2} in data[0]["witnesses"]
+
+
+def test_result_serialisation(fig1):
+    result = explore_design_space(fig1, "c")
+    data = result_to_dict(result)
+    assert data["graph"] == "example"
+    assert data["observe"] == "c"
+    assert data["max_throughput"] == "1/4"
+    assert data["lower_bounds"] == {"alpha": 4, "beta": 2}
+    assert data["stats"]["strategy"] == "dependency"
+    assert data["stats"]["evaluations"] >= 4
+
+
+def test_file_export_is_valid_json(tmp_path, fig1):
+    result = explore_design_space(fig1, "c")
+    path = tmp_path / "front.json"
+    write_result_json(result, path)
+    data = json.loads(path.read_text())
+    assert len(data["pareto_front"]) == 4
+
+
+def test_throughput_roundtrip(fig1):
+    result = explore_design_space(fig1, "c")
+    for entry in front_to_dict(result.front):
+        value = parse_throughput(entry["throughput"])
+        assert isinstance(value, Fraction)
+    assert parse_throughput("1/7") == Fraction(1, 7)

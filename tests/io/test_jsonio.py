@@ -1,0 +1,57 @@
+"""Unit tests for repro.io.jsonio."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io.jsonio import graph_from_dict, graph_to_dict, read_json, write_json
+
+
+class TestDictRoundtrip:
+    def test_fig1(self, fig1):
+        restored = graph_from_dict(graph_to_dict(fig1))
+        assert restored.name == fig1.name
+        assert restored.channel("alpha").consumption == 3
+        assert restored.actor("b").execution_time == 2
+
+    def test_dict_shape(self, fig1):
+        data = graph_to_dict(fig1)
+        assert data["name"] == "example"
+        assert data["actors"][0] == {"name": "a", "execution_time": 1}
+        assert data["channels"][0]["production"] == 2
+
+    def test_defaults_applied(self):
+        graph = graph_from_dict(
+            {"actors": [{"name": "a"}, {"name": "b"}], "channels": [{"source": "a", "destination": "b"}]}
+        )
+        assert graph.name == "sdf"
+        assert graph.actor("a").execution_time == 1
+        channel = next(iter(graph.channels.values()))
+        assert (channel.production, channel.consumption, channel.initial_tokens) == (1, 1, 0)
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(ParseError, match="malformed"):
+            graph_from_dict({"actors": [{"noname": 1}], "channels": []})
+        with pytest.raises(ParseError, match="malformed"):
+            graph_from_dict({"channels": []})
+
+
+class TestFileRoundtrip:
+    def test_roundtrip(self, tmp_path, fig1):
+        path = tmp_path / "g.json"
+        write_json(fig1, path)
+        restored = read_json(path)
+        assert restored.channel_names == fig1.channel_names
+
+    def test_file_is_valid_json(self, tmp_path, fig1):
+        path = tmp_path / "g.json"
+        write_json(fig1, path)
+        data = json.loads(path.read_text())
+        assert data["name"] == "example"
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ParseError, match="malformed JSON"):
+            read_json(path)

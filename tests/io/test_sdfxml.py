@@ -1,0 +1,99 @@
+"""Unit tests for repro.io.sdfxml."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.gallery import fig1_example, modem
+from repro.io.sdfxml import read_xml, read_xml_string, write_xml, write_xml_string
+
+
+def graphs_equal(first, second):
+    assert first.name == second.name
+    assert first.actor_names == second.actor_names
+    assert first.channel_names == second.channel_names
+    for name in first.actor_names:
+        assert first.actor(name).execution_time == second.actor(name).execution_time
+    for name in first.channel_names:
+        a, b = first.channel(name), second.channel(name)
+        assert (a.source, a.destination, a.production, a.consumption, a.initial_tokens) == (
+            b.source,
+            b.destination,
+            b.production,
+            b.consumption,
+            b.initial_tokens,
+        )
+
+
+class TestRoundtrip:
+    def test_fig1_roundtrip(self, fig1):
+        graphs_equal(fig1, read_xml_string(write_xml_string(fig1)))
+
+    def test_modem_roundtrip_with_tokens(self):
+        graph = modem()
+        restored = read_xml_string(write_xml_string(graph))
+        graphs_equal(graph, restored)
+        assert restored.channel("m17").initial_tokens == 1
+
+    def test_file_roundtrip(self, tmp_path, fig1):
+        path = tmp_path / "example.xml"
+        write_xml(fig1, path)
+        graphs_equal(fig1, read_xml(path))
+
+    def test_written_document_shape(self, fig1):
+        text = write_xml_string(fig1)
+        assert text.startswith("<?xml")
+        assert '<sdf3 type="sdf"' in text
+        assert '<actor name="a"' in text
+        assert '<channel name="alpha"' in text
+        assert '<executionTime time="2"' in text
+
+    def test_behaviour_preserved(self, fig1):
+        from repro.analysis.throughput import throughput
+        from fractions import Fraction
+
+        restored = read_xml_string(write_xml_string(fig1))
+        assert throughput(restored, {"alpha": 4, "beta": 2}, "c") == Fraction(1, 7)
+
+
+class TestParsingErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(ParseError, match="malformed"):
+            read_xml_string("<sdf3><oops")
+
+    def test_wrong_root(self):
+        with pytest.raises(ParseError, match="sdf3"):
+            read_xml_string("<notsdf/>")
+
+    def test_missing_application_graph(self):
+        with pytest.raises(ParseError, match="applicationGraph"):
+            read_xml_string('<sdf3 type="sdf"/>')
+
+    def test_missing_sdf_element(self):
+        with pytest.raises(ParseError, match="<sdf>"):
+            read_xml_string('<sdf3><applicationGraph name="g"/></sdf3>')
+
+    def test_channel_with_unknown_port(self, fig1):
+        text = write_xml_string(fig1).replace('srcPort="out0"', 'srcPort="bogus"')
+        with pytest.raises(ParseError, match="unknown source port"):
+            read_xml_string(text)
+
+    def test_non_integer_rate(self, fig1):
+        text = write_xml_string(fig1).replace('rate="2"', 'rate="two"')
+        with pytest.raises(ParseError, match="not an integer"):
+            read_xml_string(text)
+
+    def test_actor_without_name(self):
+        text = (
+            '<sdf3 type="sdf"><applicationGraph name="g"><sdf name="g" type="g">'
+            "<actor/></sdf></applicationGraph></sdf3>"
+        )
+        with pytest.raises(ParseError, match="without a name"):
+            read_xml_string(text)
+
+    def test_default_execution_time_is_one(self):
+        text = (
+            '<sdf3 type="sdf"><applicationGraph name="g"><sdf name="g" type="g">'
+            '<actor name="a" type="a"/></sdf></applicationGraph></sdf3>'
+        )
+        graph = read_xml_string(text)
+        assert graph.actor("a").execution_time == 1

@@ -1,0 +1,72 @@
+"""Unit tests for repro.io.vcd."""
+
+import re
+
+from repro.engine.executor import Executor
+from repro.io.vcd import _identifier, schedule_to_vcd, states_to_vcd
+
+
+def fig1_schedule(fig1):
+    return Executor(fig1, {"alpha": 4, "beta": 2}, "c", record_schedule=True).run().schedule
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        codes = [_identifier(index) for index in range(500)]
+        assert len(set(codes)) == 500
+        assert all(code.isprintable() and " " not in code for code in codes)
+
+    def test_short_for_small_indices(self):
+        assert len(_identifier(0)) == 1
+        assert _identifier(0) != _identifier(1)
+
+
+class TestScheduleVcd:
+    def test_header_and_signals(self, fig1):
+        vcd = schedule_to_vcd(fig1_schedule(fig1))
+        assert "$timescale 1 ns $end" in vcd
+        assert "$scope module example $end" in vcd
+        for actor in ("a", "b", "c"):
+            assert f"busy_{actor}" in vcd
+        assert "$enddefinitions $end" in vcd
+
+    def test_initial_values_zero(self, fig1):
+        vcd = schedule_to_vcd(fig1_schedule(fig1))
+        after_zero = vcd.split("#0\n", 1)[1]
+        first_lines = after_zero.split("\n")[:3]
+        assert all(line.startswith("0") for line in first_lines)
+
+    def test_transitions_match_firings(self, fig1):
+        schedule = fig1_schedule(fig1)
+        vcd = schedule_to_vcd(schedule)
+        rises = len(re.findall(r"^1", vcd, flags=re.MULTILINE))
+        assert rises == len(schedule.events)
+
+    def test_timestamps_monotone(self, fig1):
+        vcd = schedule_to_vcd(fig1_schedule(fig1))
+        stamps = [int(line[1:]) for line in vcd.splitlines() if line.startswith("#")]
+        assert stamps == sorted(stamps)
+
+    def test_horizon_truncation(self, fig1):
+        vcd = schedule_to_vcd(fig1_schedule(fig1), until=5)
+        stamps = [int(line[1:]) for line in vcd.splitlines() if line.startswith("#")]
+        assert max(stamps) <= 5
+
+
+class TestStatesVcd:
+    def test_token_signals(self, fig1):
+        states, _ = Executor(fig1, {"alpha": 4, "beta": 2}, "c").explore_full_state_space()
+        vcd = states_to_vcd(fig1, states)
+        assert "tokens_alpha" in vcd
+        assert "tokens_beta" in vcd
+        # Binary values appear.
+        assert re.search(r"^b[01]+ ", vcd, flags=re.MULTILINE)
+
+    def test_only_changes_emitted(self, fig1):
+        states, _ = Executor(fig1, {"alpha": 4, "beta": 2}, "c").explore_full_state_space()
+        vcd = states_to_vcd(fig1, states)
+        values = re.findall(r"^b([01]+) (\S+)$", vcd, flags=re.MULTILINE)
+        last = {}
+        for bits, code in values:
+            assert last.get(code) != bits
+            last[code] = bits

@@ -1,0 +1,71 @@
+"""Property tests for the auto-concurrent engine (extension X12)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.buffers.bounds import lower_bound_distribution
+from repro.engine.concurrent import ConcurrentExecutor
+from repro.engine.executor import Executor
+from repro.gallery.random_graphs import random_consistent_graph
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def graph_and_caps(seed, slack_seed):
+    rng = random.Random(seed)
+    graph = random_consistent_graph(rng)
+    slack = random.Random(slack_seed)
+    lower = lower_bound_distribution(graph)
+    caps = {name: lower[name] + slack.randint(0, 3) for name in graph.channel_names}
+    return graph, caps
+
+
+@given(seeds, seeds)
+@settings(max_examples=30, deadline=None)
+def test_auto_concurrency_never_slower(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    serialised = Executor(graph, caps).run().throughput
+    concurrent = ConcurrentExecutor(graph, caps).run().throughput
+    assert concurrent >= serialised
+
+
+@given(seeds, seeds, seeds)
+@settings(max_examples=25, deadline=None)
+def test_throughput_monotone_in_capacity(seed, slack_seed, pick_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    pick = random.Random(pick_seed)
+    channel = pick.choice(graph.channel_names)
+    grown = dict(caps)
+    grown[channel] += pick.randint(1, 3)
+    before = ConcurrentExecutor(graph, caps).run().throughput
+    after = ConcurrentExecutor(graph, grown).run().throughput
+    assert after >= before
+
+
+@given(seeds, seeds)
+@settings(max_examples=25, deadline=None)
+def test_tick_event_equivalence(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    tick = ConcurrentExecutor(graph, caps, mode="tick").run()
+    event = ConcurrentExecutor(graph, caps, mode="event").run()
+    assert tick.throughput == event.throughput
+    assert tick.first_firing_time == event.first_firing_time
+
+
+@given(seeds, seeds)
+@settings(max_examples=25, deadline=None)
+def test_self_loop_serialisation_equivalence(seed, slack_seed):
+    """One-token self-loops reduce the concurrent engine to the
+    paper's semantics — the classical encoding, on random graphs."""
+    graph, caps = graph_and_caps(seed, slack_seed)
+    looped = graph.copy(graph.name + "-looped")
+    looped_caps = dict(caps)
+    for name in graph.actor_names:
+        looped.add_channel(name, name, 1, 1, 1, name=f"__loop_{name}")
+        looped_caps[f"__loop_{name}"] = 2
+
+    serialised = Executor(graph, caps).run()
+    concurrent = ConcurrentExecutor(looped, looped_caps, serialised.observe).run()
+    assert concurrent.throughput == serialised.throughput
+    assert concurrent.deadlocked == serialised.deadlocked

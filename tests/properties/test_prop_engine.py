@@ -1,0 +1,84 @@
+"""Property tests: execution engine invariants (DESIGN.md invariants 2-3)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.buffers.bounds import lower_bound_distribution
+from repro.engine.executor import Executor
+from repro.gallery.random_graphs import random_consistent_graph
+from tests.util import assert_valid_schedule
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def graph_and_caps(seed, slack_seed=0):
+    rng = random.Random(seed)
+    graph = random_consistent_graph(rng)
+    slack_rng = random.Random(slack_seed)
+    lower = lower_bound_distribution(graph)
+    caps = {name: lower[name] + slack_rng.randint(0, 4) for name in graph.channel_names}
+    return graph, caps
+
+
+@given(seeds, seeds)
+@settings(max_examples=40, deadline=None)
+def test_execution_is_deterministic(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    first = Executor(graph, caps, record_schedule=True).run()
+    second = Executor(graph, caps, record_schedule=True).run()
+    assert first.throughput == second.throughput
+    assert first.schedule.events == second.schedule.events
+
+
+@given(seeds, seeds)
+@settings(max_examples=40, deadline=None)
+def test_tick_and_event_modes_agree(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    tick = Executor(graph, caps, mode="tick", record_schedule=True).run()
+    event = Executor(graph, caps, mode="event", record_schedule=True).run()
+    assert tick.throughput == event.throughput
+    assert tick.schedule.events == event.schedule.events
+
+
+@given(seeds, seeds)
+@settings(max_examples=40, deadline=None)
+def test_schedules_respect_sdf_semantics(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    result = Executor(graph, caps, record_schedule=True).run()
+    assert_valid_schedule(graph, result.schedule, caps)
+
+
+@given(seeds, seeds)
+@settings(max_examples=40, deadline=None)
+def test_periodicity_theorem_1(seed, slack_seed):
+    """Every bounded execution either deadlocks or closes a cycle with
+    a positive, well-defined throughput."""
+    graph, caps = graph_and_caps(seed, slack_seed)
+    result = Executor(graph, caps).run()
+    if result.deadlocked:
+        assert result.throughput == 0
+    else:
+        assert result.throughput > 0
+        assert result.cycle_duration > 0
+        assert result.firings_in_cycle > 0
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_full_state_space_has_exactly_one_cycle(seed):
+    """Property 1 of the paper, on the generator's graphs."""
+    graph, caps = graph_and_caps(seed, seed)
+    states, cycle_start = Executor(graph, caps).explore_full_state_space(max_states=200_000)
+    assert 0 <= cycle_start < len(states)
+    assert len(set(states)) == len(states)
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_tokens_bounded_by_capacity_throughout(seed):
+    graph, caps = graph_and_caps(seed, seed + 1)
+    states, _ = Executor(graph, caps).explore_full_state_space(max_states=200_000)
+    for state in states:
+        for name, tokens in zip(graph.channel_names, state.tokens):
+            assert 0 <= tokens <= caps[name]

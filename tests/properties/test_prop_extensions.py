@@ -1,0 +1,138 @@
+"""Property tests for the extension features.
+
+* processor constraints never increase throughput and preserve
+  determinism;
+* the shared-memory metric never exceeds the distribution size and is
+  monotone under capacity growth of the same schedule;
+* random phase-split CSDF graphs stay consistent, and splitting phases
+  never changes the balance totals.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.buffers.bounds import lower_bound_distribution
+from repro.csdf.graph import CSDFGraph, from_sdf
+from repro.csdf.repetitions import csdf_repetition_vector
+from repro.engine.executor import Executor
+from repro.gallery.random_graphs import random_consistent_graph
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def graph_and_caps(seed, slack_seed):
+    rng = random.Random(seed)
+    graph = random_consistent_graph(rng)
+    slack = random.Random(slack_seed)
+    lower = lower_bound_distribution(graph)
+    caps = {name: lower[name] + slack.randint(0, 4) for name in graph.channel_names}
+    return graph, caps
+
+
+@given(seeds, seeds)
+@settings(max_examples=30, deadline=None)
+def test_processor_sharing_never_speeds_up(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    unconstrained = Executor(graph, caps).run().throughput
+    # Map every actor onto one processor: fully serialised execution.
+    one_cpu = {name: "cpu" for name in graph.actor_names}
+    constrained = Executor(graph, caps, processors=one_cpu).run().throughput
+    assert constrained <= unconstrained
+
+
+@given(seeds, seeds)
+@settings(max_examples=25, deadline=None)
+def test_processor_constrained_execution_deterministic(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    assignment = {
+        name: f"p{index % 2}" for index, name in enumerate(graph.actor_names)
+    }
+    runs = [
+        Executor(graph, caps, processors=assignment, record_schedule=True).run()
+        for _ in range(2)
+    ]
+    assert runs[0].throughput == runs[1].throughput
+    assert runs[0].schedule.events == runs[1].schedule.events
+
+
+@given(seeds, seeds)
+@settings(max_examples=30, deadline=None)
+def test_shared_peak_never_exceeds_size(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    result = Executor(graph, caps, track_occupancy=True).run()
+    assert result.peak_shared_tokens is not None
+    assert result.peak_shared_tokens <= sum(caps.values())
+
+
+@given(seeds, seeds)
+@settings(max_examples=25, deadline=None)
+def test_shared_peak_at_least_initial_tokens(seed, slack_seed):
+    graph, caps = graph_and_caps(seed, slack_seed)
+    result = Executor(graph, caps, track_occupancy=True).run()
+    initial = sum(channel.initial_tokens for channel in graph.channels.values())
+    assert result.peak_shared_tokens >= initial
+
+
+def random_phase_split(graph, rng) -> CSDFGraph:
+    """Split each actor's behaviour into random phases.
+
+    An actor with execution time t and rate r per channel becomes a
+    k-phase actor whose execution times and per-channel rates sum to
+    the original values — the cyclo-static refinement of the same
+    computation.
+    """
+    split = CSDFGraph(graph.name + "-csdf")
+    phase_counts = {name: rng.randint(1, 3) for name in graph.actor_names}
+
+    def partition(total, parts):
+        cuts = sorted(rng.randint(0, total) for _ in range(parts - 1))
+        values = []
+        previous = 0
+        for cut in cuts + [total]:
+            values.append(cut - previous)
+            previous = cut
+        return tuple(values)
+
+    for actor in graph.actors.values():
+        split.add_actor(actor.name, partition(actor.execution_time, phase_counts[actor.name]))
+    for channel in graph.channels.values():
+        productions = partition(channel.production, phase_counts[channel.source])
+        consumptions = partition(channel.consumption, phase_counts[channel.destination])
+        split.add_channel(
+            channel.source,
+            channel.destination,
+            productions,
+            consumptions,
+            channel.initial_tokens,
+            name=channel.name,
+        )
+    return split
+
+
+@given(seeds, seeds)
+@settings(max_examples=30, deadline=None)
+def test_phase_split_preserves_consistency(seed, split_seed):
+    graph = random_consistent_graph(random.Random(seed))
+    rng = random.Random(split_seed)
+    try:
+        split = random_phase_split(graph, rng)
+    except Exception as error:  # all-zero rate partitions are rejected
+        from repro.exceptions import GraphError
+
+        assert isinstance(error, GraphError)
+        return
+    from repro.analysis.repetitions import repetition_vector
+
+    assert csdf_repetition_vector(split) == repetition_vector(graph)
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_lifted_graphs_keep_throughput(seed):
+    from repro.csdf.executor import CSDFExecutor
+
+    graph, caps = graph_and_caps(seed, seed ^ 0xABCDEF)
+    sdf = Executor(graph, caps).run()
+    csdf = CSDFExecutor(from_sdf(graph), caps).run()
+    assert csdf.throughput == sdf.throughput

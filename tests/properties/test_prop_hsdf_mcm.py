@@ -1,0 +1,64 @@
+"""Property tests: HSDF/MCM agrees with state-space max throughput
+(DESIGN.md invariant 8) and the [GGD02] upper bound suffices
+(invariant 6)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.throughput import max_throughput
+from repro.buffers.bounds import upper_bound_distribution
+from repro.engine.executor import Executor
+from repro.gallery.random_graphs import random_consistent_graph
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def small_graph(seed):
+    return random_consistent_graph(
+        random.Random(seed), max_actors=4, max_repetition=3, max_rate_factor=2
+    )
+
+
+@given(seeds)
+@settings(max_examples=30, deadline=None)
+def test_mcm_equals_statespace_max_throughput(seed):
+    graph = small_graph(seed)
+    for actor in graph.actor_names:
+        assert max_throughput(graph, actor, method="mcm") == max_throughput(
+            graph, actor, method="statespace"
+        )
+
+
+@given(seeds)
+@settings(max_examples=30, deadline=None)
+def test_plain_upper_bound_never_exceeds_max(seed):
+    graph = small_graph(seed)
+    at_upper = Executor(graph, upper_bound_distribution(graph)).run().throughput
+    assert at_upper <= max_throughput(graph, method="mcm")
+
+
+@given(seeds)
+@settings(max_examples=30, deadline=None)
+def test_verified_upper_bound_achieves_max(seed):
+    from repro.buffers.bounds import verified_upper_bound_distribution
+
+    graph = small_graph(seed)
+    verified = verified_upper_bound_distribution(graph)
+    assert Executor(graph, verified).run().throughput == max_throughput(graph, method="mcm")
+
+
+@given(seeds)
+@settings(max_examples=30, deadline=None)
+def test_mcm_consistent_across_observed_actors(seed):
+    """Throughputs of any two actors relate by their repetition counts."""
+    from fractions import Fraction
+
+    from repro.analysis.repetitions import repetition_vector
+
+    graph = small_graph(seed)
+    q = repetition_vector(graph)
+    names = graph.actor_names
+    base = max_throughput(graph, names[0], method="mcm") / q[names[0]]
+    for name in names[1:]:
+        assert max_throughput(graph, name, method="mcm") == base * q[name]

@@ -1,0 +1,60 @@
+"""Property tests: repetition vector invariants (DESIGN.md invariant 1)."""
+
+import random
+from math import gcd
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.repetitions import repetition_vector
+from repro.gallery.random_graphs import random_consistent_graph
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_balance_equations_hold(seed):
+    graph = random_consistent_graph(random.Random(seed))
+    q = repetition_vector(graph)
+    for channel in graph.channels.values():
+        assert q[channel.source] * channel.production == q[channel.destination] * channel.consumption
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_vector_strictly_positive(seed):
+    graph = random_consistent_graph(random.Random(seed))
+    assert all(value >= 1 for value in repetition_vector(graph).values())
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_vector_minimal(seed):
+    # The generator produces weakly connected graphs, so the whole
+    # vector must have gcd 1.
+    graph = random_consistent_graph(random.Random(seed))
+    values = list(repetition_vector(graph).values())
+    assert gcd(*values) == 1
+
+
+@given(seeds, st.integers(min_value=2, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_scaling_rates_preserves_vector(seed, factor):
+    """Multiplying both rates of a channel by a constant leaves the
+    repetition vector unchanged."""
+    from repro.graph.builder import GraphBuilder
+
+    graph = random_consistent_graph(random.Random(seed))
+    scaled = GraphBuilder(graph.name + "-scaled")
+    for actor in graph.actors.values():
+        scaled.actor(actor.name, actor.execution_time)
+    for channel in graph.channels.values():
+        scaled.channel(
+            channel.source,
+            channel.destination,
+            channel.production * factor,
+            channel.consumption * factor,
+            channel.initial_tokens,
+            name=channel.name,
+        )
+    assert repetition_vector(graph) == repetition_vector(scaled.build())

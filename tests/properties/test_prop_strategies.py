@@ -1,0 +1,79 @@
+"""Property tests: all exploration strategies find the same Pareto front
+(DESIGN.md invariant 7) and front invariants hold (invariant 5)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.buffers.explorer import explore_design_space
+from repro.engine.executor import Executor
+from repro.gallery.random_graphs import random_consistent_graph
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def small_graph(seed):
+    return random_consistent_graph(
+        random.Random(seed), max_actors=4, max_repetition=3, max_rate_factor=1
+    )
+
+
+@given(seeds)
+@settings(max_examples=20, deadline=None)
+def test_strategies_agree(seed):
+    graph = small_graph(seed)
+    dependency = explore_design_space(graph, strategy="dependency")
+    exhaustive = explore_design_space(graph, strategy="exhaustive")
+    divide = explore_design_space(graph, strategy="divide")
+    assert dependency.front == exhaustive.front
+    assert dependency.front == divide.front
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_front_strictly_monotone(seed):
+    graph = small_graph(seed)
+    front = explore_design_space(graph).front
+    sizes = front.sizes()
+    throughputs = front.throughputs()
+    assert sizes == sorted(set(sizes))
+    assert throughputs == sorted(set(throughputs))
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_witnesses_reproduce_claimed_throughput(seed):
+    graph = small_graph(seed)
+    result = explore_design_space(graph)
+    for point in result.front:
+        for witness in point.witnesses:
+            assert Executor(graph, witness).run().throughput == point.throughput
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_front_tops_out_at_max_throughput(seed):
+    graph = small_graph(seed)
+    result = explore_design_space(graph)
+    if len(result.front):
+        assert result.front.max_throughput_point.throughput == result.max_throughput
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_no_smaller_distribution_beats_a_pareto_point(seed):
+    """Exactness spot check: exhaustively verify the first Pareto point
+    is truly minimal over the whole bound box."""
+    from repro.buffers.bounds import lower_bound_distribution, upper_bound_distribution
+    from repro.buffers.enumerate import distributions_of_size
+
+    graph = small_graph(seed)
+    result = explore_design_space(graph)
+    first = result.front.min_positive
+    if first is None:
+        return
+    lower = lower_bound_distribution(graph)
+    upper = upper_bound_distribution(graph)
+    for size in range(lower.size, first.size):
+        for distribution in distributions_of_size(graph.channel_names, size, lower, upper):
+            assert Executor(graph, distribution).run().throughput == 0

@@ -1,0 +1,56 @@
+"""Unit tests for repro.reporting.periodic."""
+
+import pytest
+
+from repro.exceptions import DeadlockError
+from repro.reporting.periodic import (
+    render_pattern,
+    steady_state_pattern,
+    verify_pattern_counts,
+)
+
+CAPS = {"alpha": 4, "beta": 2}
+
+
+class TestSteadyStatePattern:
+    def test_fig1_period_seven(self, fig1):
+        pattern = steady_state_pattern(fig1, CAPS, "c")
+        assert pattern.period == 7
+
+    def test_one_iteration_per_period(self, fig1):
+        pattern = steady_state_pattern(fig1, CAPS, "c")
+        assert len(pattern.firings_of("a")) == 3
+        assert len(pattern.firings_of("b")) == 2
+        assert len(pattern.firings_of("c")) == 1
+        verify_pattern_counts(fig1, pattern)
+
+    def test_offsets_within_period(self, fig1):
+        pattern = steady_state_pattern(fig1, CAPS, "c")
+        for firing in pattern.firings:
+            assert 0 <= firing.offset < pattern.period
+
+    def test_durations_match_execution_times(self, fig1):
+        pattern = steady_state_pattern(fig1, CAPS, "c")
+        for firing in pattern.firings:
+            assert firing.duration == fig1.actor(firing.actor).execution_time
+
+    def test_deadlock_raises(self, fig1):
+        with pytest.raises(DeadlockError):
+            steady_state_pattern(fig1, {"alpha": 3, "beta": 2}, "c")
+
+    def test_max_throughput_period_four(self, fig1):
+        pattern = steady_state_pattern(fig1, {"alpha": 8, "beta": 4}, "c")
+        assert pattern.period == 4
+        verify_pattern_counts(fig1, pattern)
+
+    def test_render(self, fig1):
+        text = render_pattern(steady_state_pattern(fig1, CAPS, "c"))
+        assert "every 7 steps" in text
+        assert "| actor" in text
+
+    def test_counts_on_gallery(self, samplerate_graph):
+        lower_caps = {
+            "c1": 1, "c2": 4, "c3": 8, "c4": 14, "c5": 5,
+        }
+        pattern = steady_state_pattern(samplerate_graph, lower_caps)
+        verify_pattern_counts(samplerate_graph, pattern)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.reporting.plots."""
+
+from fractions import Fraction
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.pareto import ParetoFront
+from repro.reporting.plots import ascii_pareto
+
+
+def front():
+    return ParetoFront.from_evaluations(
+        {
+            StorageDistribution({"a": 4, "b": 2}): Fraction(1, 7),
+            StorageDistribution({"a": 6, "b": 2}): Fraction(1, 6),
+            StorageDistribution({"a": 8, "b": 2}): Fraction(1, 4),
+        }
+    )
+
+
+def grid_lines(chart):
+    """The chart rows above the x axis (excludes textual labels)."""
+    lines = chart.split("\n")
+    axis = next(i for i, line in enumerate(lines) if "+---" in line)
+    return lines[:axis]
+
+
+def test_one_marker_per_point():
+    chart = ascii_pareto(front())
+    assert sum(line.count("o") for line in grid_lines(chart)) == 3
+
+
+def test_axis_labels():
+    chart = ascii_pareto(front())
+    assert "1/4 -" in chart
+    assert "distribution size" in chart
+    lines = chart.split("\n")
+    assert any(line.strip().startswith("6") and line.strip().endswith("10") for line in lines)
+
+
+def test_title_included():
+    assert ascii_pareto(front(), title="Fig. 5").startswith("Fig. 5")
+
+
+def test_empty_front():
+    chart = ascii_pareto(ParetoFront())
+    assert "empty" in chart
+
+
+def test_single_point_front():
+    single = ParetoFront.from_evaluations(
+        {StorageDistribution({"a": 4}): Fraction(1, 7)}
+    )
+    chart = ascii_pareto(single)
+    assert sum(line.count("o") for line in grid_lines(chart)) == 1
+
+
+def test_staircase_monotone():
+    """Rows of later (larger) points sit above rows of earlier points."""
+    chart = ascii_pareto(front(), width=40, height=10)
+    rows = {}
+    for row_index, line in enumerate(grid_lines(chart)):
+        for col_index, char in enumerate(line):
+            if char == "o":
+                rows[col_index] = row_index
+    columns = sorted(rows)
+    heights = [rows[c] for c in columns]
+    assert heights == sorted(heights, reverse=True)

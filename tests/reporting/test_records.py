@@ -1,0 +1,21 @@
+"""Unit tests for repro.reporting.records."""
+
+from repro.reporting.records import ExperimentRecord, render_records
+
+
+def test_render_contains_fields():
+    records = [
+        ExperimentRecord("E-F5", "Pareto points", "3-4", "4", "yes"),
+        ExperimentRecord("E-T2", "actors", "3", "3", "yes", note="exact"),
+    ]
+    text = render_records(records)
+    assert "experiment" in text
+    assert "E-F5" in text
+    assert "Pareto points" in text
+    assert "exact" in text
+
+
+def test_rows_aligned():
+    records = [ExperimentRecord("a", "b", "c", "d")]
+    lines = render_records(records).split("\n")
+    assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,52 @@
+"""Unit tests for repro.reporting.svg."""
+
+import re
+
+from repro.engine.executor import Executor
+from repro.graph.builder import GraphBuilder
+from repro.reporting.svg import schedule_to_svg
+
+
+def fig1_schedule(fig1):
+    return Executor(fig1, {"alpha": 4, "beta": 2}, "c", record_schedule=True).run().schedule
+
+
+def test_valid_svg_shell(fig1):
+    svg = schedule_to_svg(fig1_schedule(fig1))
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert svg.count("<svg") == svg.count("</svg>") == 1
+
+
+def test_one_row_label_per_actor(fig1):
+    svg = schedule_to_svg(fig1_schedule(fig1))
+    for actor in ("a", "b", "c"):
+        assert f">{actor}</text>" in svg
+
+
+def test_one_rect_per_firing_within_horizon(fig1):
+    schedule = fig1_schedule(fig1)
+    svg = schedule_to_svg(schedule)
+    # The background rect starts with '<rect width', firing rects with
+    # '<rect x' — the lookahead excludes the background.
+    firing_rects = len(re.findall(r"<rect(?! width)", svg))
+    assert firing_rects == len(schedule.events)
+
+
+def test_horizon_truncation(fig1):
+    schedule = fig1_schedule(fig1)
+    truncated = schedule_to_svg(schedule, until=5)
+    full = schedule_to_svg(schedule)
+    assert len(truncated) < len(full)
+
+
+def test_title_rendered(fig1):
+    svg = schedule_to_svg(fig1_schedule(fig1), title="Table 1")
+    assert ">Table 1</text>" in svg
+
+
+def test_zero_duration_firings_as_ticks():
+    graph = GraphBuilder().actors({"z": 0, "s": 1}).channel("z", "s", name="c").build()
+    result = Executor(graph, {"c": 1}, "s", record_schedule=True).run()
+    svg = schedule_to_svg(result.schedule)
+    assert 'width="2"' in svg

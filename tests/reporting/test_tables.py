@@ -1,0 +1,91 @@
+"""Unit tests for repro.reporting.tables."""
+
+from repro.buffers.explorer import explore_design_space
+from repro.reporting.tables import render_table, schedule_table, schedule_for, table2, table2_row
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table([["h1", "h2"], ["a", "bbbb"], ["cc", "d"]])
+        lines = text.split("\n")
+        assert len({len(line) for line in lines}) == 1  # uniform width
+        assert lines[1].startswith("|--")
+
+    def test_empty(self):
+        assert render_table([]) == ""
+
+    def test_ragged_rows_padded(self):
+        text = render_table([["a", "b", "c"], ["x"]])
+        lines = text.split("\n")
+        assert len(lines[0]) == len(lines[2])
+
+
+class TestScheduleTable:
+    def test_table1_structure(self, fig1):
+        schedule = schedule_for(fig1, {"alpha": 4, "beta": 2}, "c")
+        text = schedule_table(schedule, 16)
+        lines = text.split("\n")
+        assert lines[0].startswith("| time | 1 | 2 |")
+        row_a = lines[2]
+        row_b = lines[3]
+        row_c = lines[4]
+        # a fires in steps 1 and 2 (paper's Table 1 pattern).
+        assert row_a.split("|")[2].strip() == "a"
+        assert row_a.split("|")[3].strip() == "a"
+        # b starts at step 3 and continues at step 4.
+        assert row_b.split("|")[4].strip() == "b"
+        assert row_b.split("|")[5].strip() == "*"
+        # c first fires at step 8.
+        assert row_c.split("|")[9].strip() == "c"
+
+    def test_actor_subset(self, fig1):
+        schedule = schedule_for(fig1, {"alpha": 4, "beta": 2}, "c")
+        text = schedule_table(schedule, 8, actors=["c"])
+        assert "| a " not in text
+        assert "| c " in text
+
+
+class TestTable2:
+    def test_row_contents(self, fig1):
+        result = explore_design_space(fig1, "c")
+        row = table2_row(fig1, "c", result)
+        assert row["example"] == "example"
+        assert row["actors"] == 3
+        assert row["channels"] == 2
+        assert row["min thr > 0"] == "1/7"
+        assert row["size (min)"] == 6
+        assert row["max thr"] == "1/4"
+        assert row["size (max)"] == 10
+        assert row["#pareto"] == 4
+        assert row["max #states"] >= 2
+
+    def test_row_runs_exploration_when_missing(self, fig1):
+        row = table2_row(fig1, "c")
+        assert row["#pareto"] == 4
+
+    def test_table_layout_metrics_as_rows(self, fig1, fig6):
+        rows = [table2_row(fig1, "c"), table2_row(fig6, "d")]
+        text = table2(rows)
+        lines = text.split("\n")
+        assert "example" in lines[0] and "fig6" in lines[0]
+        assert any(line.startswith("| actors") for line in lines)
+        assert any(line.startswith("| #pareto") for line in lines)
+
+    def test_empty_table(self):
+        assert table2([]) == ""
+
+
+class TestDeadlockedRow:
+    def test_dashes_for_deadlocked_graph(self):
+        from repro.graph.builder import GraphBuilder
+
+        graph = (
+            GraphBuilder("dead")
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b", 1, 2)
+            .channel("b", "a", 2, 1, initial_tokens=1)
+            .build()
+        )
+        row = table2_row(graph, "b")
+        assert row["min thr > 0"] == "-"
+        assert row["size (max)"] == "-"

@@ -1,0 +1,41 @@
+"""Unit tests for repro.reporting.tokens."""
+
+from repro.reporting.tokens import occupancy_series, token_table
+
+CAPS = {"alpha": 4, "beta": 2}
+
+
+def test_table_shape(fig1):
+    text = token_table(fig1, CAPS, 16, "c")
+    lines = text.split("\n")
+    assert lines[0].split("|")[1].strip() == "time"
+    assert lines[2].split("|")[1].strip() == "alpha"
+    assert lines[3].split("|")[1].strip() == "beta"
+
+
+def test_series_respects_capacities(fig1):
+    series = occupancy_series(fig1, CAPS, 40, "c")
+    assert all(0 <= value <= 4 for value in series["alpha"])
+    assert all(0 <= value <= 2 for value in series["beta"])
+
+
+def test_series_matches_paper_prefix(fig1):
+    # Fig. 3: tokens (0,0) -> (2,0) -> (4,0) over the first instants.
+    series = occupancy_series(fig1, CAPS, 3, "c")
+    assert series["alpha"][:3] == [0, 2, 4]
+    assert series["beta"][:3] == [0, 0, 0]
+
+
+def test_periodic_extension(fig1):
+    # Far beyond the explored prefix the series repeats with period 7.
+    series = occupancy_series(fig1, CAPS, 40, "c")
+    tail = series["alpha"][20:34]
+    assert tail[:7] == tail[7:14]
+
+
+def test_table_and_series_agree(fig1):
+    horizon = 12
+    series = occupancy_series(fig1, CAPS, horizon, "c")
+    table = token_table(fig1, CAPS, horizon, "c")
+    alpha_row = [cell.strip() for cell in table.split("\n")[2].split("|")[2:-1]]
+    assert [int(cell) for cell in alpha_row] == series["alpha"]

@@ -1,0 +1,34 @@
+"""CLI --output-json and CSDF --throughput paths."""
+
+import json
+
+from repro.cli import main
+
+
+def test_output_json(tmp_path, capsys):
+    target = tmp_path / "result.json"
+    assert main(["gallery:example", "--observe", "c", "--output-json", str(target)]) == 0
+    data = json.loads(target.read_text())
+    assert data["graph"] == "example"
+    assert [entry["size"] for entry in data["pareto_front"]] == [6, 8, 9, 10]
+    assert "written to" in capsys.readouterr().out
+
+
+def test_csdf_throughput_constraint(tmp_path, capsys):
+    from repro.csdf.graph import CSDFGraph
+    from repro.io.csdfjson import write_csdf_json
+
+    graph = CSDFGraph("decimator")
+    graph.add_actor("src", (1,))
+    graph.add_actor("decim", (2, 1))
+    graph.add_actor("snk", (1,))
+    graph.add_channel("src", "decim", (1,), (1, 1), name="a")
+    graph.add_channel("decim", "snk", (1, 0), (1,), name="b")
+    path = tmp_path / "g.json"
+    write_csdf_json(graph, path)
+
+    assert main([str(path), "--csdf", "--observe", "snk", "--throughput", "1/3"]) == 0
+    assert "minimal storage" in capsys.readouterr().out
+
+    assert main([str(path), "--csdf", "--observe", "snk", "--throughput", "1/2"]) == 1
+    assert "not achievable" in capsys.readouterr().out

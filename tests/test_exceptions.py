@@ -1,0 +1,48 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions
+
+
+def test_everything_derives_from_repro_error():
+    for name in (
+        "GraphError",
+        "ValidationError",
+        "InconsistentGraphError",
+        "DeadlockError",
+        "EngineError",
+        "CapacityError",
+        "ExplorationError",
+        "ParseError",
+        "AnalysisError",
+    ):
+        error_type = getattr(exceptions, name)
+        assert issubclass(error_type, exceptions.ReproError)
+
+
+def test_validation_error_is_graph_error():
+    assert issubclass(exceptions.ValidationError, exceptions.GraphError)
+
+
+def test_deadlock_error_carries_time():
+    error = exceptions.DeadlockError("stuck", time=42)
+    assert error.time == 42
+    assert "stuck" in str(error)
+    assert exceptions.DeadlockError("stuck").time is None
+
+
+def test_single_except_clause_catches_library_failures(fig1):
+    from repro import Executor, throughput
+
+    caught = []
+    for call in (
+        lambda: Executor(fig1, {"zz": 1}),
+        lambda: Executor(fig1, {"alpha": 4, "beta": 2}, "nope"),
+        lambda: throughput(fig1, {"alpha": -1}),
+    ):
+        with pytest.raises(exceptions.ReproError) as info:
+            call()
+        caught.append(type(info.value))
+    assert exceptions.CapacityError in caught
+    assert exceptions.GraphError in caught

@@ -1,0 +1,117 @@
+"""Unit tests for repro.transform."""
+
+import random
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.hsdf import to_hsdf
+from repro.analysis.repetitions import repetition_vector
+from repro.analysis.throughput import max_throughput
+from repro.engine.executor import Executor
+from repro.exceptions import GraphError
+from repro.gallery.random_graphs import random_consistent_graph
+from repro.transform import hsdf_as_sdf, reverse_graph, unfold
+from repro.transform.hsdf_as_sdf import copy_name
+
+
+class TestHsdfAsSdf:
+    def test_structure(self, fig1):
+        graph = hsdf_as_sdf(to_hsdf(fig1))
+        assert graph.num_actors == 6  # 3 + 2 + 1 copies
+        assert all(
+            channel.production == channel.consumption == 1
+            for channel in graph.channels.values()
+        )
+        assert repetition_vector(graph) == {name: 1 for name in graph.actor_names}
+
+    def test_copy_names(self, fig1):
+        graph = hsdf_as_sdf(to_hsdf(fig1))
+        assert copy_name("a", 2) in graph.actors
+        assert graph.actor(copy_name("b", 1)).execution_time == 2
+
+    def test_timing_cross_validation(self, fig1):
+        """The materialised HSDF runs at the original's maximal rate.
+
+        Copy (c, 0) fires once per original iteration, i.e. at
+        throughput max_throughput(c) / q(c)."""
+        hsdf_graph = hsdf_as_sdf(to_hsdf(fig1))
+        caps = {name: channel.initial_tokens + 2 for name, channel in hsdf_graph.channels.items()}
+        measured = Executor(hsdf_graph, caps, copy_name("c", 0)).run().throughput
+        assert measured == max_throughput(fig1, "c")  # q(c) == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graph_cross_validation(self, seed):
+        graph = random_consistent_graph(
+            random.Random(seed), max_actors=4, max_repetition=3, max_rate_factor=1
+        )
+        q = repetition_vector(graph)
+        observe = graph.actor_names[-1]
+        hsdf_graph = hsdf_as_sdf(to_hsdf(graph))
+        caps = {
+            name: channel.initial_tokens + 2
+            for name, channel in hsdf_graph.channels.items()
+        }
+        measured = Executor(hsdf_graph, caps, copy_name(observe, 0)).run().throughput
+        assert measured == max_throughput(graph, observe, method="mcm") / q[observe]
+
+
+class TestReverse:
+    def test_structure_flipped(self, fig1):
+        reversed_graph = reverse_graph(fig1)
+        alpha = reversed_graph.channel("alpha")
+        assert (alpha.source, alpha.destination) == ("b", "a")
+        assert (alpha.production, alpha.consumption) == (3, 2)
+
+    def test_repetition_vector_preserved(self, fig1):
+        assert repetition_vector(reverse_graph(fig1)) == repetition_vector(fig1)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_consistency_preserved_on_random_graphs(self, seed):
+        graph = random_consistent_graph(random.Random(seed))
+        assert repetition_vector(reverse_graph(graph)) == repetition_vector(graph)
+
+    def test_involution(self, fig1):
+        twice = reverse_graph(reverse_graph(fig1))
+        for name in fig1.channel_names:
+            original = fig1.channel(name)
+            restored = twice.channel(name)
+            assert (original.source, original.production) == (restored.source, restored.production)
+
+
+class TestUnfold:
+    def test_rates_scaled(self, fig1):
+        unfolded = unfold(fig1, 3)
+        assert unfolded.channel("alpha").production == 6
+        assert unfolded.channel("alpha").consumption == 9
+
+    def test_repetition_vector_divides(self, fig1):
+        # q = (3, 2, 1); unfolding by 6 makes all rates proportional to
+        # a single iteration: q becomes (1, ...)-scaled by gcd structure.
+        q_original = repetition_vector(fig1)
+        q_unfolded = repetition_vector(unfold(fig1, 6))
+        # Balance still holds and the vector shrank or stayed equal.
+        assert sum(q_unfolded.values()) <= sum(q_original.values())
+
+    def test_factor_one_is_identity(self, fig1):
+        unfolded = unfold(fig1, 1)
+        assert repetition_vector(unfolded) == repetition_vector(fig1)
+        assert unfolded.channel("alpha").production == 2
+
+    def test_invalid_factor_rejected(self, fig1):
+        with pytest.raises(GraphError):
+            unfold(fig1, 0)
+        with pytest.raises(GraphError):
+            unfold(fig1, -2)
+
+    def test_tokens_scaled(self):
+        from repro.graph.builder import GraphBuilder
+
+        graph = (
+            GraphBuilder()
+            .actors({"a": 1, "b": 1})
+            .channel("a", "b", 1, 1, initial_tokens=2, name="c")
+            .build()
+        )
+        assert unfold(graph, 4).channel("c").initial_tokens == 8

@@ -1,0 +1,76 @@
+"""Shared checking helpers used across test modules."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.engine.schedule import Schedule
+from repro.graph.graph import SDFGraph
+
+
+def assert_valid_schedule(
+    graph: SDFGraph, schedule: Schedule, capacities: Mapping[str, int] | None
+) -> None:
+    """Replay *schedule* against the SDF semantics and check every rule.
+
+    Verifies, at every recorded event:
+
+    * firings of one actor do not overlap (no auto-concurrency) and
+      last exactly the actor's execution time;
+    * token counts never go negative and occupancy (stored tokens plus
+      claimed output space) never exceeds the capacity;
+    * every firing had sufficient input tokens available at its start.
+    """
+    # Stable sort by start time: events recorded at the same instant
+    # keep their causal (recording) order, which matters for
+    # zero-execution-time cascades.
+    events = sorted(schedule.events, key=lambda event: event.start)
+    last_end = {name: None for name in graph.actor_names}
+    for event in events:
+        actor = graph.actor(event.actor)
+        assert event.duration == actor.execution_time, (
+            f"{event.actor}: firing lasts {event.duration}, execution time is {actor.execution_time}"
+        )
+        previous = last_end[event.actor]
+        assert previous is None or event.start >= previous, (
+            f"{event.actor}: firing at {event.start} overlaps one ending at {previous}"
+        )
+        last_end[event.actor] = event.end
+
+    # Replay token movement instant by instant.
+    times = sorted({event.start for event in events} | {event.end for event in events})
+    tokens = {name: channel.initial_tokens for name, channel in graph.channels.items()}
+    claims = {name: 0 for name in graph.channel_names}
+    for now in times:
+        # Completions release claims, consume inputs, produce outputs.
+        for event in events:
+            if event.end == now and event.duration > 0:
+                for channel in graph.incoming(event.actor):
+                    tokens[channel.name] -= channel.consumption
+                    assert tokens[channel.name] >= 0, f"channel {channel.name} went negative at t={now}"
+                for channel in graph.outgoing(event.actor):
+                    claims[channel.name] -= channel.production
+                    tokens[channel.name] += channel.production
+        # Starts check tokens and claim space.
+        for event in events:
+            if event.start == now:
+                for channel in graph.incoming(event.actor):
+                    assert tokens[channel.name] >= channel.consumption, (
+                        f"{event.actor} started at t={now} without tokens on {channel.name}"
+                    )
+                if event.duration == 0:
+                    for channel in graph.incoming(event.actor):
+                        tokens[channel.name] -= channel.consumption
+                    for channel in graph.outgoing(event.actor):
+                        tokens[channel.name] += channel.production
+                else:
+                    for channel in graph.outgoing(event.actor):
+                        claims[channel.name] += channel.production
+        if capacities is not None:
+            for name in graph.channel_names:
+                capacity = capacities.get(name)
+                if capacity is not None:
+                    occupancy = tokens[name] + claims[name]
+                    assert occupancy <= capacity, (
+                        f"channel {name}: occupancy {occupancy} exceeds capacity {capacity} at t={now}"
+                    )
