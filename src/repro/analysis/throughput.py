@@ -19,7 +19,7 @@ provided and cross-validated in the test suite:
 from __future__ import annotations
 
 from fractions import Fraction
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 
 from repro.analysis.consistency import assert_consistent
 from repro.engine.executor import ExecutionResult, Executor
@@ -90,6 +90,7 @@ def max_throughput(
     observe: str | None = None,
     method: str = "auto",
     confirmations: int = 1,
+    evaluator: "Callable[[Mapping[str, int]], Fraction] | None" = None,
 ) -> Fraction:
     """Maximal achievable throughput over all storage distributions.
 
@@ -104,6 +105,11 @@ def max_throughput(
         For the state-space method: how many doublings of the
         upper-bound distribution must leave the throughput unchanged
         before it is accepted.
+    evaluator:
+        Optional throughput oracle (typically a
+        :class:`~repro.buffers.evalcache.EvaluationService`) the
+        state-space method routes its executions through, so they are
+        memoised and counted alongside an exploration's other probes.
     """
     assert_consistent(graph)
     if observe is None:
@@ -116,11 +122,11 @@ def max_throughput(
                 return _max_throughput_mcm(graph, observe)
             except AnalysisError:
                 pass
-        return _max_throughput_statespace(graph, observe, max(confirmations, 2))
+        return _max_throughput_statespace(graph, observe, max(confirmations, 2), evaluator)
     if method == "mcm":
         return _max_throughput_mcm(graph, observe)
     if method == "statespace":
-        return _max_throughput_statespace(graph, observe, confirmations)
+        return _max_throughput_statespace(graph, observe, confirmations, evaluator)
     raise AnalysisError(f"unknown max-throughput method {method!r}")
 
 
@@ -159,15 +165,28 @@ def _max_throughput_mcm(graph: SDFGraph, observe: str) -> Fraction:
     return Fraction(q[observe]) / result.ratio
 
 
-def _max_throughput_statespace(graph: SDFGraph, observe: str, confirmations: int) -> Fraction:
+def _max_throughput_statespace(
+    graph: SDFGraph,
+    observe: str,
+    confirmations: int,
+    evaluator: "Callable[[Mapping[str, int]], Fraction] | None" = None,
+) -> Fraction:
     from repro.buffers.bounds import upper_bound_distribution
+    from repro.buffers.distribution import StorageDistribution
+
+    if evaluator is None:
+        def evaluate(caps: Mapping[str, int]) -> Fraction:
+            return Executor(graph, caps, observe).run().throughput
+    else:
+        def evaluate(caps: Mapping[str, int]) -> Fraction:
+            return evaluator(StorageDistribution(caps))
 
     capacities = dict(upper_bound_distribution(graph))
-    best = Executor(graph, capacities, observe).run().throughput
+    best = evaluate(capacities)
     stable = 0
     while stable < confirmations:
         capacities = {name: 2 * value for name, value in capacities.items()}
-        enlarged = Executor(graph, capacities, observe).run().throughput
+        enlarged = evaluate(capacities)
         if enlarged == best:
             stable += 1
         else:

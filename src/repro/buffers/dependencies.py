@@ -41,7 +41,7 @@ from collections.abc import Mapping
 
 from repro.buffers.bounds import lower_bound_distribution
 from repro.buffers.distribution import StorageDistribution
-from repro.engine.executor import Executor
+from repro.buffers.evalcache import EvaluationService
 from repro.graph.graph import SDFGraph
 
 
@@ -74,6 +74,7 @@ def dependency_sweep(
     start: StorageDistribution | None = None,
     stop_at_first: bool = False,
     token_sizes: Mapping[str, int] | None = None,
+    evaluator: EvaluationService | None = None,
 ) -> DependencySweepResult:
     """Explore the useful sub-lattice of storage distributions.
 
@@ -91,6 +92,15 @@ def dependency_sweep(
     stop_at_first:
         Return as soon as the first distribution reaching
         *stop_throughput* is popped (minimal-size witness queries).
+    evaluator:
+        Optional shared :class:`~repro.buffers.evalcache
+        .EvaluationService`; a private serial one is created otherwise.
+        With ``workers > 1`` the frontier entries of one size — which
+        are all known before any of them is processed, because every
+        expansion strictly grows the size — are evaluated as one
+        parallel batch; the results are then folded in the exact heap
+        order of the serial sweep, so the explored set, the recorded
+        throughputs and the first witness are identical.
 
     A sweep without *stop_throughput* diverges on most graphs (a
     source actor that is merely *ahead* keeps hitting full channels at
@@ -105,9 +115,17 @@ def dependency_sweep(
             " throughput) or a max_size; otherwise capacity growth never terminates"
         )
     seed = start if start is not None else lower_bound_distribution(graph)
+    service = evaluator if evaluator is not None else EvaluationService(graph, observe)
     stats = DependencyStats()
     evaluations: dict[StorageDistribution, Fraction] = {}
     first_reaching: StorageDistribution | None = None
+
+    def reached(throughput: Fraction) -> bool:
+        return (
+            throughput > 0
+            if stop_positive
+            else stop_throughput is not None and throughput >= stop_throughput
+        )
 
     order = graph.channel_names
     heap: list[tuple[int, tuple[int, ...], StorageDistribution]] = []
@@ -134,35 +152,52 @@ def dependency_sweep(
 
     push(seed)
     while heap:
-        size, _vector, distribution = heapq.heappop(heap)
+        size = heap[0][0]
         if ceiling is not None and size > ceiling:
             break
-        queued.discard(distribution)
-        result = Executor(graph, distribution, observe, track_blocking=True).run()
-        stats.evaluations += 1
-        stats.max_states_stored = max(stats.max_states_stored, result.states_stored)
-        evaluations[distribution] = result.throughput
+        # Every expansion strictly increases the cost, so all frontier
+        # entries of the current cost are already queued: pop them as
+        # one batch of independent probes.
+        batch: list[StorageDistribution] = []
+        while heap and heap[0][0] == size:
+            batch.append(heapq.heappop(heap)[2])
+        for distribution in batch:
+            queued.discard(distribution)
 
-        reached = (
-            result.throughput > 0
-            if stop_positive
-            else stop_throughput is not None and result.throughput >= stop_throughput
-        )
-        if reached:
-            if first_reaching is None:
-                first_reaching = distribution
-                if stop_at_first:
-                    break
-            if ceiling is None or size < ceiling:
-                ceiling = size
-            continue
-        for channel in result.space_blocked:
-            step = result.space_deficits.get(channel, 1)
-            stats.expansions += 1
-            successor = distribution.incremented(channel, step)
-            if ceiling is not None and cost(successor) > ceiling:
+        if service.workers > 1 and len(batch) > 1:
+            records = service.evaluate_blocking_many(batch, reached)
+        else:
+            records = None  # evaluate lazily, preserving serial early exits
+
+        stop = False
+        for position, distribution in enumerate(batch):
+            record = (
+                records[position]
+                if records is not None
+                else service.evaluate_blocking(distribution, reached)
+            )
+            stats.evaluations += 1
+            stats.max_states_stored = max(stats.max_states_stored, record.states_stored)
+            evaluations[distribution] = record.throughput
+
+            if reached(record.throughput):
+                if first_reaching is None:
+                    first_reaching = distribution
+                    if stop_at_first:
+                        stop = True
+                        break
+                if ceiling is None or size < ceiling:
+                    ceiling = size
                 continue
-            push(successor)
+            for channel in record.space_blocked or ():
+                step = (record.space_deficits or {}).get(channel, 1)
+                stats.expansions += 1
+                successor = distribution.incremented(channel, step)
+                if ceiling is not None and cost(successor) > ceiling:
+                    continue
+                push(successor)
+        if stop:
+            break
 
     return DependencySweepResult(evaluations, stats, first_reaching)
 
@@ -174,6 +209,7 @@ def find_minimal_distribution(
     *,
     max_size: int | None = None,
     token_sizes: Mapping[str, int] | None = None,
+    evaluator: EvaluationService | None = None,
 ) -> tuple[StorageDistribution, Fraction] | None:
     """Smallest distribution whose throughput meets *constraint*.
 
@@ -189,7 +225,7 @@ def find_minimal_distribution(
     # capacity growth would not terminate.
     from repro.analysis.throughput import max_throughput
 
-    if constraint > max_throughput(graph, observe):
+    if constraint > max_throughput(graph, observe, evaluator=evaluator):
         return None
     result = dependency_sweep(
         graph,
@@ -198,6 +234,7 @@ def find_minimal_distribution(
         max_size=max_size,
         stop_at_first=True,
         token_sizes=token_sizes,
+        evaluator=evaluator,
     )
     witness = result.first_reaching_target
     if witness is None:

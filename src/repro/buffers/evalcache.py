@@ -1,0 +1,409 @@
+"""Shared evaluation service: exact memo cache, bound pruning, fan-out.
+
+Every exploration strategy ultimately reduces to throughput queries on
+storage distributions, answered by a cold-start state-space execution.
+:class:`EvaluationService` is the single funnel all strategies route
+those queries through.  It layers three exact accelerations on top of
+the raw :class:`~repro.engine.executor.Executor`:
+
+**Memo cache.**  Results are memoised under the canonical form of the
+distribution (the capacity vector in the graph's channel order), so a
+distribution is never executed twice — across strategies, across the
+upper-bound probes of the explorer, across repeated queries.
+
+**Monotonicity-based bound pruning.**  Throughput is monotone
+non-decreasing under component-wise capacity increase (Sec. 9 of the
+paper; property-tested in ``tests/properties``).  Two consequences are
+exploited, both *exact*:
+
+* *ceiling squeeze* — let ``T`` be the graph's maximal throughput over
+  all distributions (the service's ``ceiling``).  If a cached
+  distribution ``w`` with ``thr(w) == T`` is dominated component-wise
+  by a query ``d`` (``d >= w``), then ``T = thr(w) <= thr(d) <= T``,
+  so ``thr(d) == T`` without running anything.  The prune fires only
+  on cached values *equal* to the ceiling — a cached value merely at
+  some stop threshold below the ceiling would bound the superset's
+  throughput from below but not pin it, and the service never answers
+  with a bound.
+* *deadlock cover* — if a cached ``w`` with ``thr(w) == 0`` dominates
+  the query (``w >= d``), then ``0 <= thr(d) <= thr(w) = 0``.
+
+The witnesses backing the prunes are kept as small antichains (minimal
+ceiling-reaching vectors, maximal deadlocked vectors) with a bounded
+length, so prune checks stay cheap; eviction only loses prune
+opportunities, never exactness.
+
+**Parallel probing.**  Batch queries (``evaluate_many`` /
+``evaluate_blocking_many``) resolve what the cache can answer and fan
+the misses out to a :class:`~repro.engine.parallel.ParallelProber`
+process pool.  ``workers=1`` is exactly today's serial path; results
+are merged back in input order, so batch callers observe the same
+deterministic sequence either way.
+
+The differential test harness (``tests/properties/test_prop_evalcache
+.py``) asserts that explorations through this service — cache on or
+off, serial or parallel — return Pareto fronts identical to the plain
+serial path, witnesses included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, NamedTuple
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.search import SearchStats
+from repro.engine.executor import Executor
+from repro.engine.parallel import ParallelProber, RawEvaluation
+from repro.exceptions import CapacityError
+from repro.graph.graph import SDFGraph
+
+#: Default cap on each prune antichain; evicting old witnesses only
+#: reduces prune opportunities, never correctness.
+_PRUNE_FRONT_LIMIT = 128
+
+
+@dataclass
+class EvalStats(SearchStats):
+    """Counters of one exploration through the evaluation service.
+
+    Extends the per-strategy :class:`~repro.buffers.search.SearchStats`
+    (evaluations, cache hits, sizes probed, ...) with the service's own
+    accounting: how often each pruning rule answered a query and how
+    much work went through the process pool.
+    """
+
+    workers: int = 1
+    prunes_superset: int = 0
+    prunes_subset: int = 0
+    parallel_batches: int = 0
+    parallel_tasks: int = 0
+
+    @property
+    def prunes(self) -> int:
+        """Total queries answered by monotonicity pruning."""
+        return self.prunes_superset + self.prunes_subset
+
+
+class EvaluationRecord(NamedTuple):
+    """Cached outcome of one distribution evaluation.
+
+    ``space_blocked`` / ``space_deficits`` are ``None`` when the record
+    was synthesised by a pruning rule (the throughput is exact, but no
+    execution happened, so no blocking information exists).
+    """
+
+    distribution: StorageDistribution
+    throughput: Fraction
+    states_stored: int
+    space_blocked: frozenset[str] | None
+    space_deficits: Mapping[str, int] | None
+
+    @property
+    def has_blocking(self) -> bool:
+        return self.space_blocked is not None
+
+
+def _dominates(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+    return all(x >= y for x, y in zip(a, b))
+
+
+class EvaluationService:
+    """Memoising, pruning, optionally parallel throughput oracle.
+
+    Drop-in compatible with
+    :class:`~repro.buffers.search.ThroughputEvaluator` (callable, with
+    ``.stats`` and ``.evaluations``), plus batch and blocking-aware
+    entry points for the strategies that need them.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size for batch queries; ``1`` stays serial.
+    cache:
+        Disable to turn the service into a plain (optionally parallel)
+        executor frontend — the differential-test baseline.
+    ceiling:
+        The graph's **maximal throughput over all distributions**.
+        Required for the superset prune; must be exact (pass the value
+        of :func:`repro.analysis.throughput.max_throughput`), or leave
+        unset / call :meth:`set_ceiling` once known.
+    """
+
+    def __init__(
+        self,
+        graph: SDFGraph,
+        observe: str | None = None,
+        *,
+        workers: int = 1,
+        cache: bool = True,
+        ceiling: Fraction | None = None,
+        prune_limit: int = _PRUNE_FRONT_LIMIT,
+        stats: EvalStats | None = None,
+    ):
+        self.graph = graph
+        self.observe = observe if observe is not None else graph.actor_names[-1]
+        self.workers = max(1, int(workers))
+        self.cache_enabled = bool(cache)
+        self.ceiling = ceiling
+        self.stats = stats if stats is not None else EvalStats(workers=self.workers)
+        self.stats.workers = self.workers
+        self._order = graph.channel_names
+        self._memo: dict[tuple[int, ...], EvaluationRecord] = {}
+        # Antichains of (total size, capacity vector) pairs; the size is
+        # a cheap dominance pre-filter.
+        self._ceiling_front: list[tuple[int, tuple[int, ...]]] = []
+        self._deadlock_front: list[tuple[int, tuple[int, ...]]] = []
+        self._prune_limit = max(1, prune_limit)
+        self._prober: ParallelProber | None = None
+
+    # -- canonical keys ---------------------------------------------------
+    def _vector(self, distribution: Mapping[str, int]) -> tuple[int, ...]:
+        try:
+            return tuple(distribution[name] for name in self._order)
+        except KeyError as missing:
+            raise CapacityError(
+                f"distribution misses channel {missing.args[0]!r} of graph {self.graph.name!r}"
+            ) from None
+
+    # -- throughput queries ----------------------------------------------
+    def __call__(self, distribution: StorageDistribution) -> Fraction:
+        """Exact throughput of *distribution* (0 on deadlock)."""
+        vector = self._vector(distribution)
+        record = self._lookup(vector) or self._prune(distribution, vector)
+        if record is None:
+            record = self._execute(distribution, vector)
+        return record.throughput
+
+    def evaluate_many(self, distributions: Sequence[StorageDistribution]) -> list[Fraction]:
+        """Throughputs of a batch of independent distributions.
+
+        Cache and prunes answer what they can; the remaining misses go
+        through the process pool (``workers > 1``) or run inline.
+        Results come back in input order.
+        """
+        records = self._resolve_batch(distributions, blocking=False)
+        return [record.throughput for record in records]
+
+    # -- blocking-aware queries (dependency-guided sweep) ------------------
+    def evaluate_blocking(
+        self,
+        distribution: StorageDistribution,
+        reached: Callable[[Fraction], bool] | None = None,
+    ) -> EvaluationRecord:
+        """Evaluation record including space-blocking information.
+
+        *reached* tells the service which throughputs make blocking
+        information unnecessary (the sweep never expands a distribution
+        that already reached its target): for such values a cached or
+        pruned record without blocking data may be returned; otherwise
+        an execution is performed to obtain it.
+        """
+        return self._resolve_batch([distribution], blocking=True, reached=reached)[0]
+
+    def evaluate_blocking_many(
+        self,
+        distributions: Sequence[StorageDistribution],
+        reached: Callable[[Fraction], bool] | None = None,
+    ) -> list[EvaluationRecord]:
+        """Batch variant of :meth:`evaluate_blocking` (input order)."""
+        return self._resolve_batch(distributions, blocking=True, reached=reached)
+
+    # -- batch resolution --------------------------------------------------
+    def _resolve_batch(
+        self,
+        distributions: Sequence[StorageDistribution],
+        *,
+        blocking: bool,
+        reached: Callable[[Fraction], bool] | None = None,
+    ) -> list[EvaluationRecord]:
+        def usable(record: EvaluationRecord) -> bool:
+            if not blocking or record.has_blocking:
+                return True
+            return reached is not None and reached(record.throughput)
+
+        records: list[EvaluationRecord | None] = [None] * len(distributions)
+        misses: list[tuple[int, StorageDistribution, tuple[int, ...]]] = []
+        for index, distribution in enumerate(distributions):
+            vector = self._vector(distribution)
+            record = self._lookup(vector)
+            if record is not None and usable(record):
+                records[index] = record
+                continue
+            if record is None:
+                # Blocking callers expand deadlocked entries, so the
+                # deadlock cover (which yields no blocking channels) is
+                # off for them, and the ceiling squeeze only applies
+                # when reaching the ceiling ends the expansion anyway.
+                prunable = not blocking or (
+                    reached is not None and self.ceiling is not None and reached(self.ceiling)
+                )
+                if prunable:
+                    pruned = self._prune(distribution, vector, allow_subset=not blocking)
+                    if pruned is not None and usable(pruned):
+                        records[index] = pruned
+                        continue
+            misses.append((index, distribution, vector))
+
+        if misses:
+            if self.workers > 1 and len(misses) > 1:
+                prober = self._ensure_prober()
+                raw_results = prober.map([dict(d) for _, d, _ in misses])
+                self.stats.parallel_batches = prober.batches
+                self.stats.parallel_tasks = prober.tasks
+                for (index, distribution, vector), raw in zip(misses, raw_results):
+                    records[index] = self._absorb(distribution, vector, raw)
+            else:
+                for index, distribution, vector in misses:
+                    records[index] = self._execute(distribution, vector)
+        return records  # type: ignore[return-value]  # every slot filled above
+
+    # -- cache internals ----------------------------------------------------
+    def _lookup(self, vector: tuple[int, ...]) -> EvaluationRecord | None:
+        if not self.cache_enabled:
+            return None
+        record = self._memo.get(vector)
+        if record is not None:
+            self.stats.cache_hits += 1
+        return record
+
+    def _prune(
+        self,
+        distribution: StorageDistribution,
+        vector: tuple[int, ...],
+        allow_subset: bool = True,
+    ) -> EvaluationRecord | None:
+        if not self.cache_enabled:
+            return None
+        total = sum(vector)
+        if self.ceiling is not None:
+            for witness_total, witness in self._ceiling_front:
+                if witness_total <= total and _dominates(vector, witness):
+                    self.stats.prunes_superset += 1
+                    return self._store(
+                        vector, EvaluationRecord(distribution, self.ceiling, 0, None, None)
+                    )
+        if allow_subset:
+            for witness_total, witness in self._deadlock_front:
+                if witness_total >= total and _dominates(witness, vector):
+                    self.stats.prunes_subset += 1
+                    return self._store(
+                        vector, EvaluationRecord(distribution, Fraction(0), 0, None, None)
+                    )
+        return None
+
+    def _execute(
+        self, distribution: StorageDistribution, vector: tuple[int, ...]
+    ) -> EvaluationRecord:
+        result = Executor(self.graph, distribution, self.observe, track_blocking=True).run()
+        self.stats.evaluations += 1
+        self.stats.max_states_stored = max(self.stats.max_states_stored, result.states_stored)
+        record = EvaluationRecord(
+            distribution,
+            result.throughput,
+            result.states_stored,
+            result.space_blocked,
+            dict(result.space_deficits),
+        )
+        return self._store(vector, record)
+
+    def _absorb(
+        self,
+        distribution: StorageDistribution,
+        vector: tuple[int, ...],
+        raw: RawEvaluation,
+    ) -> EvaluationRecord:
+        throughput, states_stored, blocked, deficits = raw
+        self.stats.evaluations += 1
+        self.stats.max_states_stored = max(self.stats.max_states_stored, states_stored)
+        record = EvaluationRecord(
+            distribution, throughput, states_stored, frozenset(blocked), dict(deficits)
+        )
+        return self._store(vector, record)
+
+    def _store(self, vector: tuple[int, ...], record: EvaluationRecord) -> EvaluationRecord:
+        if not self.cache_enabled:
+            return record
+        existing = self._memo.get(vector)
+        if existing is not None and existing.has_blocking:
+            # Never replace a full record with a thinner one.
+            return existing
+        self._memo[vector] = record
+        if record.throughput == 0:
+            self._note_deadlock(vector)
+        elif self.ceiling is not None and record.throughput == self.ceiling:
+            self._note_ceiling(vector)
+        return record
+
+    def _note_ceiling(self, vector: tuple[int, ...]) -> None:
+        front = self._ceiling_front
+        total = sum(vector)
+        if any(t <= total and _dominates(vector, w) for t, w in front):
+            return  # an existing witness already answers everything this one would
+        front[:] = [(t, w) for t, w in front if not (t >= total and _dominates(w, vector))]
+        front.append((total, vector))
+        del front[: -self._prune_limit]
+
+    def _note_deadlock(self, vector: tuple[int, ...]) -> None:
+        front = self._deadlock_front
+        total = sum(vector)
+        if any(t >= total and _dominates(w, vector) for t, w in front):
+            return
+        front[:] = [(t, w) for t, w in front if not (t <= total and _dominates(vector, w))]
+        front.append((total, vector))
+        del front[: -self._prune_limit]
+
+    # -- lifecycle / introspection ------------------------------------------
+    def set_ceiling(self, ceiling: Fraction) -> None:
+        """Pin the graph's maximal throughput, enabling the superset prune.
+
+        Cached results that already reach the ceiling are promoted to
+        prune witnesses retroactively.
+        """
+        self.ceiling = ceiling
+        if self.cache_enabled:
+            for vector, record in self._memo.items():
+                if record.throughput == ceiling:
+                    self._note_ceiling(vector)
+
+    def _ensure_prober(self) -> ParallelProber:
+        if self._prober is None:
+            self._prober = ParallelProber(self.graph, self.observe, self.workers)
+        return self._prober
+
+    @property
+    def evaluations(self) -> dict[StorageDistribution, Fraction]:
+        """All known distributions with their throughputs (cache dump)."""
+        return {
+            record.distribution: record.throughput for record in self._memo.values()
+        }
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._memo)
+
+    def close(self) -> None:
+        """Release the worker pool, if one was created (idempotent)."""
+        if self._prober is not None:
+            self._prober.close()
+            self._prober = None
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def batched(items: Iterable, size: int) -> Iterable[list]:
+    """Yield consecutive chunks of at most *size* items."""
+    chunk: list = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -27,10 +27,10 @@ from repro.buffers.bounds import lower_bound_distribution, upper_bound_distribut
 from repro.buffers.dependencies import dependency_sweep, find_minimal_distribution
 from repro.buffers.distribution import StorageDistribution
 from repro.buffers.enumerate import count_distributions_of_size
+from repro.buffers.evalcache import EvaluationService
 from repro.buffers.pareto import ParetoFront, ParetoPoint
 from repro.buffers.quantize import thin_front
-from repro.buffers.search import SizeProbe, ThroughputEvaluator, divide_and_conquer, exhaustive_sweep
-from repro.engine.executor import Executor
+from repro.buffers.search import SizeProbe, divide_and_conquer, exhaustive_sweep
 from repro.exceptions import ExplorationError
 from repro.graph.graph import SDFGraph
 
@@ -47,6 +47,10 @@ class ExplorationStats:
     wall_time_s: float
     sizes_probed: int = 0
     search_space: int | None = None
+    cache_hits: int = 0
+    prunes: int = 0
+    workers: int = 1
+    parallel_batches: int = 0
 
 
 @dataclass(frozen=True)
@@ -82,6 +86,11 @@ class DesignSpaceResult:
             f" max {self.stats.max_states_stored} states,"
             f" {self.stats.wall_time_s:.3f}s ({self.stats.strategy})"
         )
+        lines.append(
+            f"  cache: {self.stats.cache_hits} hits, {self.stats.prunes} prunes,"
+            f" {self.stats.workers} worker(s),"
+            f" {self.stats.parallel_batches} parallel batches"
+        )
         return "\n".join(lines)
 
 
@@ -96,6 +105,9 @@ def explore_design_space(
     token_sizes: Mapping[str, int] | None = None,
     count_search_space: bool = False,
     collect_all_witnesses: bool = False,
+    workers: int = 1,
+    cache: bool = True,
+    evaluator: EvaluationService | None = None,
 ) -> DesignSpaceResult:
     """Chart the full storage/throughput Pareto space of *graph*.
 
@@ -135,6 +147,19 @@ def explore_design_space(
         size to completion so that Pareto points list *every* tied
         minimal distribution (the paper's Fig. 6 non-uniqueness); by
         default scans stop as soon as the maximal throughput is found.
+    workers:
+        Process-pool size for fanning out independent throughput
+        probes; ``1`` (the default) keeps everything in-process on the
+        exact serial path.  Any value returns the identical front.
+    cache:
+        Keep the exact memo/pruning cache of the shared
+        :class:`~repro.buffers.evalcache.EvaluationService` enabled.
+        Disabling it is primarily a differential-testing baseline.
+    evaluator:
+        Bring-your-own :class:`~repro.buffers.evalcache
+        .EvaluationService` (e.g. to share a warm cache across several
+        explorations of the same graph).  When given, *workers* /
+        *cache* are ignored and the caller owns the service lifecycle.
     """
     assert_consistent(graph)
     if strategy not in _STRATEGIES:
@@ -150,58 +175,66 @@ def explore_design_space(
     upper = upper_bound_distribution(graph)
     started = time.perf_counter()
 
-    # Sec. 9 takes the throughput at the [GGD02] upper bound as the
-    # maximal achievable throughput of the graph.  That bound can fall
-    # short on some graphs (see buffers.bounds), so the maximum is
-    # computed independently and the bound box is enlarged until it
-    # provably contains a maximal-throughput distribution.
-    from repro.analysis.throughput import max_throughput as _max_throughput
+    owns_service = evaluator is None
+    service = (
+        evaluator
+        if evaluator is not None
+        else EvaluationService(graph, observe, workers=workers, cache=cache)
+    )
+    try:
+        # Sec. 9 takes the throughput at the [GGD02] upper bound as the
+        # maximal achievable throughput of the graph.  That bound can
+        # fall short on some graphs (see buffers.bounds), so the
+        # maximum is computed independently and the bound box is
+        # enlarged until it provably contains a maximal-throughput
+        # distribution.
+        from repro.analysis.throughput import max_throughput as _max_throughput
 
-    max_thr = _max_throughput(graph, observe)
-    low_bound, high_bound = throughput_bounds if throughput_bounds is not None else (None, None)
-    if low_bound is not None and high_bound is not None and low_bound > high_bound:
-        raise ExplorationError("throughput_bounds: low exceeds high")
-    stop_thr = max_thr if high_bound is None else min(max_thr, high_bound)
-    top = Executor(graph, upper, observe).run()
-    while top.throughput < stop_thr:
-        upper = upper.scaled(2)
-        top = Executor(graph, upper, observe).run()
-
-    size_cap = max_size if max_size is not None else upper.weighted_size(token_sizes)
-
-    if strategy == "dependency":
-        sweep = dependency_sweep(
-            graph,
-            observe,
-            stop_throughput=stop_thr,
-            max_size=size_cap,
-            token_sizes=token_sizes,
+        max_thr = _max_throughput(graph, observe, evaluator=service)
+        service.set_ceiling(max_thr)
+        low_bound, high_bound = (
+            throughput_bounds if throughput_bounds is not None else (None, None)
         )
-        front = ParetoFront.from_evaluations(sweep.evaluations, token_sizes)
-        evaluations = sweep.stats.evaluations + 1
-        max_states = max(sweep.stats.max_states_stored, top.states_stored)
-        sizes_probed = len({d.size for d in sweep.evaluations})
-    else:
-        evaluator = ThroughputEvaluator(graph, observe)
-        bounded_upper = _cap_box(lower, upper, size_cap)
-        if strategy == "exhaustive":
-            probes, stats = exhaustive_sweep(
+        if low_bound is not None and high_bound is not None and low_bound > high_bound:
+            raise ExplorationError("throughput_bounds: low exceeds high")
+        stop_thr = max_thr if high_bound is None else min(max_thr, high_bound)
+        while service(upper) < stop_thr:
+            upper = upper.scaled(2)
+
+        size_cap = max_size if max_size is not None else upper.weighted_size(token_sizes)
+
+        if strategy == "dependency":
+            sweep = dependency_sweep(
                 graph,
                 observe,
-                lower,
-                bounded_upper,
-                stop_thr,
-                evaluator,
-                stop_early=not collect_all_witnesses,
+                stop_throughput=stop_thr,
+                max_size=size_cap,
+                token_sizes=token_sizes,
+                evaluator=service,
             )
+            front = ParetoFront.from_evaluations(sweep.evaluations, token_sizes)
+            sizes_probed = len({d.size for d in sweep.evaluations})
         else:
-            probes, stats = divide_and_conquer(
-                graph, observe, lower, bounded_upper, stop_thr, evaluator, quantum=quantum
-            )
-        front = _front_from_probes(probes)
-        evaluations = stats.evaluations + 1
-        max_states = max(stats.max_states_stored, top.states_stored)
-        sizes_probed = stats.sizes_probed
+            bounded_upper = _cap_box(lower, upper, size_cap)
+            if strategy == "exhaustive":
+                probes, _ = exhaustive_sweep(
+                    graph,
+                    observe,
+                    lower,
+                    bounded_upper,
+                    stop_thr,
+                    service,
+                    stop_early=not collect_all_witnesses,
+                )
+            else:
+                probes, _ = divide_and_conquer(
+                    graph, observe, lower, bounded_upper, stop_thr, service, quantum=quantum
+                )
+            front = _front_from_probes(probes)
+            sizes_probed = service.stats.sizes_probed
+    finally:
+        if owns_service:
+            service.close()
 
     if max_size is not None:
         front = _restrict_front(front, max_size)
@@ -219,11 +252,15 @@ def explore_design_space(
 
     stats = ExplorationStats(
         strategy=strategy,
-        evaluations=evaluations,
-        max_states_stored=max_states,
+        evaluations=service.stats.evaluations,
+        max_states_stored=service.stats.max_states_stored,
         wall_time_s=time.perf_counter() - started,
         sizes_probed=sizes_probed,
         search_space=search_space,
+        cache_hits=service.stats.cache_hits,
+        prunes=service.stats.prunes,
+        workers=service.workers,
+        parallel_batches=service.stats.parallel_batches,
     )
     return DesignSpaceResult(
         graph_name=graph.name,
@@ -290,9 +327,7 @@ def _cap_box(
 
 
 def _restrict_front(front: ParetoFront, max_size: int) -> ParetoFront:
-    restricted = ParetoFront()
-    restricted._points = [point for point in front if point.size <= max_size]
-    return restricted
+    return front.filtered(lambda point: point.size <= max_size)
 
 
 def _window_front(
@@ -311,6 +346,4 @@ def _window_front(
         kept.append(point)
         if high is not None and point.throughput >= high:
             break
-    clipped = ParetoFront()
-    clipped._points = kept
-    return clipped
+    return ParetoFront.from_points(kept)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from collections.abc import Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
 
 from repro.buffers.distribution import StorageDistribution
 
@@ -83,6 +83,36 @@ class ParetoFront:
                     ParetoPoint(size, value, tuple(sorted(witnesses, key=lambda w: tuple(sorted(w.items())))))
                 )
                 best = value
+        return front
+
+    @classmethod
+    def from_points(cls, points: Iterable[ParetoPoint]) -> "ParetoFront":
+        """Build a front from already-Pareto points.
+
+        The points must satisfy the front invariant — strictly
+        increasing in both size and throughput — which is validated
+        here so callers cannot construct a corrupt front.
+        """
+        front = cls()
+        for point in points:
+            if front._points:
+                previous = front._points[-1]
+                if point.size <= previous.size or point.throughput <= previous.throughput:
+                    raise ValueError(
+                        "Pareto points must be strictly increasing in size and"
+                        f" throughput: {previous} followed by {point}"
+                    )
+            front._points.append(point)
+        return front
+
+    def filtered(self, predicate: Callable[[ParetoPoint], bool]) -> "ParetoFront":
+        """A new front keeping the points satisfying *predicate*.
+
+        Removing points from a valid front cannot break the
+        monotonicity invariant, so any predicate is safe.
+        """
+        front = ParetoFront()
+        front._points = [point for point in self._points if predicate(point)]
         return front
 
     @property

@@ -16,14 +16,20 @@ Two cooperating searches:
   distribution reaches the threshold.
 
 Both strategies share a memoising evaluator so a distribution is never
-simulated twice.
+simulated twice.  The evaluator may be the plain
+:class:`ThroughputEvaluator` below or the richer
+:class:`~repro.buffers.evalcache.EvaluationService`; with the latter,
+the per-size scans fan their independent probes out to a process pool
+in enumeration-ordered waves, so results (including early exits and
+witness selection) are bit-identical to the serial scan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from collections.abc import Mapping
+from itertools import islice
+from collections.abc import Iterator, Mapping
 
 from repro.buffers.distribution import StorageDistribution
 from repro.buffers.enumerate import distributions_of_size
@@ -96,6 +102,33 @@ class SizeSearch:
         self.upper = dict(upper)
         self.evaluator = evaluator
 
+    def _scan(self, size: int) -> Iterator[tuple[StorageDistribution, Fraction]]:
+        """Yield ``(distribution, throughput)`` in enumeration order.
+
+        With a plain evaluator this is the serial loop.  With a
+        parallel :class:`~repro.buffers.evalcache.EvaluationService`
+        the enumeration is consumed in growing waves whose members are
+        evaluated as one batch; yielding still follows enumeration
+        order, so callers that stop early (the ``stop_at`` exit, a
+        threshold hit) make identical decisions either way — at most
+        the tail of the current wave is evaluated speculatively, and
+        those results land in the shared cache rather than being lost.
+        """
+        generator = distributions_of_size(self.channels, size, self.lower, self.upper)
+        evaluate_many = getattr(self.evaluator, "evaluate_many", None)
+        workers = getattr(self.evaluator, "workers", 1)
+        if evaluate_many is None or workers <= 1:
+            for distribution in generator:
+                yield distribution, self.evaluator(distribution)
+            return
+        wave = 4 * workers
+        while True:
+            batch = list(islice(generator, wave))
+            if not batch:
+                return
+            yield from zip(batch, evaluate_many(batch))
+            wave = min(2 * wave, 64 * workers)
+
     # -- exact scan -----------------------------------------------------
     def max_throughput_for_size(self, size: int, stop_at: Fraction | None = None) -> SizeProbe:
         """Exact maximum over all distributions of *size*.
@@ -106,8 +139,7 @@ class SizeSearch:
         self.evaluator.stats.sizes_probed += 1
         best = Fraction(0)
         witnesses: list[StorageDistribution] = []
-        for distribution in distributions_of_size(self.channels, size, self.lower, self.upper):
-            value = self.evaluator(distribution)
+        for distribution, value in self._scan(size):
             if value > best:
                 best = value
                 witnesses = [distribution]
@@ -121,8 +153,8 @@ class SizeSearch:
     def threshold_scan(self, size: int, threshold: Fraction) -> StorageDistribution | None:
         """First distribution of *size* with throughput >= *threshold*."""
         self.evaluator.stats.threshold_scans += 1
-        for distribution in distributions_of_size(self.channels, size, self.lower, self.upper):
-            if self.evaluator(distribution) >= threshold:
+        for distribution, value in self._scan(size):
+            if value >= threshold:
                 return distribution
         return None
 

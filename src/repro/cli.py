@@ -117,6 +117,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat a JSON input as a cyclo-static (CSDF) graph",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent throughput probes out to N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the exact evaluation memo/pruning cache (differential baseline)",
+    )
     parser.add_argument("--table", action="store_true", help="print a Table-2 style summary row")
     parser.add_argument("--bounds", action="store_true", help="print the storage bound box")
     parser.add_argument("--dot", action="store_true", help="export the graph as Graphviz DOT")
@@ -282,6 +294,8 @@ def _explore(graph: SDFGraph, arguments: argparse.Namespace, out) -> int:
         quantum=quantum,
         max_size=arguments.max_size,
         throughput_bounds=bounds,
+        workers=arguments.workers,
+        cache=not arguments.no_cache,
     )
     print(result.summary(), file=out)
     if arguments.output_json:

@@ -1,0 +1,141 @@
+"""Process-pool fan-out for independent throughput evaluations.
+
+The design-space searches repeatedly ask "what is the throughput of
+this graph under this storage distribution?" for *independent*
+distributions — all members of one size slice, all frontier entries of
+one size in the dependency-guided sweep.  Each answer is a cold-start
+state-space execution that shares nothing with its neighbours, so the
+batch parallelises perfectly.
+
+:class:`ParallelProber` wraps a :class:`concurrent.futures.\
+ProcessPoolExecutor` around this pattern:
+
+* the (picklable) graph and observed actor are shipped **once** per
+  worker through the pool initializer — tasks then carry only the
+  capacity vector;
+* ``workers=1`` (the default everywhere) never creates a pool and runs
+  every task inline, byte-for-byte the serial path;
+* a pool that cannot be created or that breaks mid-run (forbidden
+  ``fork``, resource limits, a killed worker) degrades to the inline
+  path instead of failing the exploration.
+
+Results are returned in task order, so callers observe the same
+deterministic sequence as a serial scan.  The module-level worker
+functions must stay importable at top level for ``spawn``-based
+platforms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from fractions import Fraction
+
+from repro.graph.graph import SDFGraph
+
+#: Raw result of one remote evaluation:
+#: ``(throughput, states_stored, space_blocked, space_deficits)``.
+RawEvaluation = tuple[Fraction, int, tuple[str, ...], tuple[tuple[str, int], ...]]
+
+_worker_graph: SDFGraph | None = None
+_worker_observe: str | None = None
+
+
+def _init_worker(graph: SDFGraph, observe: str | None) -> None:
+    """Pool initializer: pin the graph/observe pair in the worker."""
+    global _worker_graph, _worker_observe
+    _worker_graph = graph
+    _worker_observe = observe
+
+
+def _run_task(capacity_items: tuple[tuple[str, int], ...]) -> RawEvaluation:
+    """Worker entry point: one executor run for one distribution."""
+    assert _worker_graph is not None, "worker pool used before initialisation"
+    return evaluate_raw(_worker_graph, dict(capacity_items), _worker_observe)
+
+
+def evaluate_raw(
+    graph: SDFGraph, capacities: dict[str, int], observe: str | None
+) -> RawEvaluation:
+    """One blocking-tracked executor run, reduced to a picklable tuple."""
+    from repro.engine.executor import Executor
+
+    result = Executor(graph, capacities, observe, track_blocking=True).run()
+    return (
+        result.throughput,
+        result.states_stored,
+        tuple(sorted(result.space_blocked)),
+        tuple(sorted(result.space_deficits.items())),
+    )
+
+
+class ParallelProber:
+    """Maps distributions to :data:`RawEvaluation` tuples, possibly in parallel.
+
+    Parameters
+    ----------
+    graph / observe:
+        Fixed for the prober's lifetime; shipped to workers once.
+    workers:
+        Pool size.  ``1`` (or less) never spawns processes.
+    """
+
+    def __init__(self, graph: SDFGraph, observe: str | None, workers: int = 1):
+        self.graph = graph
+        self.observe = observe
+        self.workers = max(1, int(workers))
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_failed = False
+        self.batches = 0
+        self.tasks = 0
+
+    @property
+    def parallel(self) -> bool:
+        """Whether tasks may actually fan out to worker processes."""
+        return self.workers > 1 and not self._pool_failed
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._pool is None and not self._pool_failed:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.graph, self.observe),
+                )
+            except (OSError, ValueError):
+                self._pool_failed = True
+        return self._pool
+
+    def map(self, capacities: Sequence[dict[str, int]]) -> list[RawEvaluation]:
+        """Evaluate every distribution; results in input order."""
+        items = [tuple(sorted(c.items())) for c in capacities]
+        if not items:
+            return []
+        if self.workers > 1 and len(items) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                chunksize = max(1, len(items) // (self.workers * 4))
+                try:
+                    results = list(pool.map(_run_task, items, chunksize=chunksize))
+                    self.batches += 1
+                    self.tasks += len(items)
+                    return results
+                except BrokenProcessPool:
+                    # A worker died (OOM killer, container limits);
+                    # finish the batch inline and stay serial from now on.
+                    self._pool_failed = True
+                    self._pool = None
+        return [evaluate_raw(self.graph, dict(item), self.observe) for item in items]
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelProber":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -45,6 +45,10 @@ def result_to_dict(result: DesignSpaceResult) -> dict:
             "evaluations": result.stats.evaluations,
             "max_states_stored": result.stats.max_states_stored,
             "wall_time_s": result.stats.wall_time_s,
+            "cache_hits": result.stats.cache_hits,
+            "prunes": result.stats.prunes,
+            "workers": result.stats.workers,
+            "parallel_batches": result.stats.parallel_batches,
         },
     }
 

@@ -1,0 +1,94 @@
+"""Public ParetoFront construction/filtering API and the explorer
+regressions that used to poke at ``ParetoFront._points`` directly."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.explorer import explore_design_space
+from repro.buffers.pareto import ParetoFront, ParetoPoint
+from repro.gallery import fig1_example
+
+
+def point(size, throughput, **capacities):
+    witnesses = (StorageDistribution(capacities),) if capacities else ()
+    return ParetoPoint(size, Fraction(throughput), witnesses)
+
+
+def test_from_points_roundtrip():
+    points = [point(6, "1/7"), point(8, "1/6"), point(10, "1/4")]
+    front = ParetoFront.from_points(points)
+    assert front.points == points
+    assert front.sizes() == [6, 8, 10]
+
+
+def test_from_points_empty():
+    front = ParetoFront.from_points([])
+    assert len(front) == 0
+    assert front.min_positive is None
+    assert front.max_throughput_point is None
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        [point(6, "1/7"), point(6, "1/6")],  # size not increasing
+        [point(6, "1/7"), point(8, "1/7")],  # throughput not increasing
+        [point(8, "1/6"), point(6, "1/7")],  # wrong order entirely
+    ],
+)
+def test_from_points_rejects_invariant_violations(bad):
+    with pytest.raises(ValueError):
+        ParetoFront.from_points(bad)
+
+
+def test_filtered_keeps_matching_points():
+    front = ParetoFront.from_points([point(6, "1/7"), point(8, "1/6"), point(10, "1/4")])
+    small = front.filtered(lambda p: p.size <= 8)
+    assert small.sizes() == [6, 8]
+    # The original front is untouched.
+    assert front.sizes() == [6, 8, 10]
+
+
+def test_filtered_empty_front():
+    front = ParetoFront()
+    assert len(front.filtered(lambda p: True)) == 0
+
+
+def test_filtered_to_nothing():
+    front = ParetoFront.from_points([point(6, "1/7")])
+    assert len(front.filtered(lambda p: False)) == 0
+
+
+# -- explorer regressions (the former _points pokes) ---------------------
+
+
+@pytest.mark.parametrize("strategy", ("dependency", "divide", "exhaustive"))
+def test_max_size_below_lower_bound_yields_empty_front(strategy):
+    graph = fig1_example()
+    result = explore_design_space(graph, "c", strategy=strategy, max_size=3)
+    assert len(result.front) == 0
+    assert result.front.min_positive is None
+
+
+def test_max_size_restricts_front():
+    graph = fig1_example()
+    result = explore_design_space(graph, "c", max_size=8)
+    assert [(p.size, str(p.throughput)) for p in result.front] == [(6, "1/7"), (8, "1/6")]
+
+
+def test_throughput_window_on_empty_front():
+    graph = fig1_example()
+    result = explore_design_space(
+        graph, "c", max_size=3, throughput_bounds=(Fraction(1, 7), None)
+    )
+    assert len(result.front) == 0
+
+
+def test_throughput_window_clips_both_ends():
+    graph = fig1_example()
+    result = explore_design_space(
+        graph, "c", throughput_bounds=(Fraction(1, 6), Fraction(1, 5))
+    )
+    assert [(p.size, str(p.throughput)) for p in result.front] == [(8, "1/6"), (9, "1/5")]
