@@ -9,24 +9,72 @@ attention to consistent graphs for the same reason).
 
 from __future__ import annotations
 
+import weakref
+from dataclasses import dataclass
+
 from repro.exceptions import InconsistentGraphError
 from repro.analysis.repetitions import repetition_vector
 from repro.graph.graph import SDFGraph
 
 
+@dataclass
+class ConsistencyStats:
+    """Counters for the per-graph consistency memo (observability aid)."""
+
+    computations: int = 0
+    hits: int = 0
+
+    def reset(self) -> None:
+        self.computations = 0
+        self.hits = 0
+
+
+#: Process-wide counters: ``computations`` increments once per distinct
+#: graph (per structural shape), ``hits`` once per memoised answer.
+consistency_stats = ConsistencyStats()
+
+# Verdict memo keyed weakly by graph identity.  The value records the
+# graph's shape at verification time so a structurally modified graph
+# (more actors/channels added after the first check) is re-verified
+# rather than served a stale verdict.  The verdict itself is either the
+# repetition vector or the InconsistentGraphError to re-raise.
+_VERDICTS: "weakref.WeakKeyDictionary[SDFGraph, tuple[tuple[int, int], dict[str, int] | InconsistentGraphError]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _verdict(graph: SDFGraph) -> dict[str, int] | InconsistentGraphError:
+    shape = (len(graph.actors), len(graph.channels))
+    cached = _VERDICTS.get(graph)
+    if cached is not None and cached[0] == shape:
+        consistency_stats.hits += 1
+        return cached[1]
+    consistency_stats.computations += 1
+    verdict: dict[str, int] | InconsistentGraphError
+    try:
+        verdict = repetition_vector(graph)
+    except InconsistentGraphError as exc:
+        verdict = exc
+    _VERDICTS[graph] = (shape, verdict)
+    return verdict
+
+
 def is_consistent(graph: SDFGraph) -> bool:
     """Whether the balance equations have a non-trivial solution."""
-    try:
-        repetition_vector(graph)
-    except InconsistentGraphError:
-        return False
-    return True
+    return not isinstance(_verdict(graph), InconsistentGraphError)
 
 
 def assert_consistent(graph: SDFGraph) -> dict[str, int]:
     """Return the repetition vector, raising if the graph is inconsistent.
 
     This is the standard entry-point guard used by analyses that are
-    only defined for consistent graphs.
+    only defined for consistent graphs.  The verdict is memoised per
+    graph (weakly keyed, invalidated when the actor/channel counts
+    change), so exploration loops that probe thousands of storage
+    distributions verify each graph once; :data:`consistency_stats`
+    counts computations versus memo hits.
     """
-    return repetition_vector(graph)
+    verdict = _verdict(graph)
+    if isinstance(verdict, InconsistentGraphError):
+        raise verdict
+    return dict(verdict)

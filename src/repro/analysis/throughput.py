@@ -22,7 +22,7 @@ from fractions import Fraction
 from collections.abc import Callable, Mapping
 
 from repro.analysis.consistency import assert_consistent
-from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.executor import ExecutionResult, Executor, execute
 from repro.exceptions import AnalysisError
 from repro.graph.graph import SDFGraph
 
@@ -31,11 +31,20 @@ def analyze(
     graph: SDFGraph,
     capacities: Mapping[str, int] | None = None,
     observe: str | None = None,
+    *,
+    engine: str = "auto",
     **kwargs,
 ) -> ExecutionResult:
-    """Full execution result for *graph* under *capacities*."""
+    """Full execution result for *graph* under *capacities*.
+
+    ``engine`` selects the simulation kernel: ``"auto"`` (default) uses
+    the fast event-calendar kernel of :mod:`repro.engine.fastcore` for
+    uninstrumented runs and falls back to the reference executor when
+    any instrumentation keyword is present; ``"fast"`` and
+    ``"reference"`` force one of the two.
+    """
     assert_consistent(graph)
-    return Executor(graph, capacities, observe, **kwargs).run()
+    return execute(graph, capacities, observe, engine=engine, **kwargs)
 
 
 def throughput(

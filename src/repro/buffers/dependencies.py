@@ -75,6 +75,7 @@ def dependency_sweep(
     stop_at_first: bool = False,
     token_sizes: Mapping[str, int] | None = None,
     evaluator: EvaluationService | None = None,
+    engine: str = "auto",
 ) -> DependencySweepResult:
     """Explore the useful sub-lattice of storage distributions.
 
@@ -94,7 +95,11 @@ def dependency_sweep(
         *stop_throughput* is popped (minimal-size witness queries).
     evaluator:
         Optional shared :class:`~repro.buffers.evalcache
-        .EvaluationService`; a private serial one is created otherwise.
+        .EvaluationService`; a private serial one is created otherwise
+        (with *engine*, which is ignored when *evaluator* is given —
+        note the sweep's probes are blocking-aware, so they run on the
+        reference executor under ``"auto"`` and ``engine="fast"``
+        raises :class:`~repro.exceptions.EngineError`).
         With ``workers > 1`` the frontier entries of one size — which
         are all known before any of them is processed, because every
         expansion strictly grows the size — are evaluated as one
@@ -115,7 +120,11 @@ def dependency_sweep(
             " throughput) or a max_size; otherwise capacity growth never terminates"
         )
     seed = start if start is not None else lower_bound_distribution(graph)
-    service = evaluator if evaluator is not None else EvaluationService(graph, observe)
+    service = (
+        evaluator
+        if evaluator is not None
+        else EvaluationService(graph, observe, engine=engine)
+    )
     stats = DependencyStats()
     evaluations: dict[StorageDistribution, Fraction] = {}
     first_reaching: StorageDistribution | None = None
@@ -210,6 +219,7 @@ def find_minimal_distribution(
     max_size: int | None = None,
     token_sizes: Mapping[str, int] | None = None,
     evaluator: EvaluationService | None = None,
+    engine: str = "auto",
 ) -> tuple[StorageDistribution, Fraction] | None:
     """Smallest distribution whose throughput meets *constraint*.
 
@@ -235,6 +245,7 @@ def find_minimal_distribution(
         stop_at_first=True,
         token_sizes=token_sizes,
         evaluator=evaluator,
+        engine=engine,
     )
     witness = result.first_reaching_target
     if witness is None:

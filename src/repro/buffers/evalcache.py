@@ -56,8 +56,9 @@ from collections.abc import Iterable, Mapping, Sequence
 from repro.buffers.distribution import StorageDistribution
 from repro.buffers.search import SearchStats
 from repro.engine.executor import Executor
+from repro.engine.fastcore import ENGINES, FastKernel, kernel_for
 from repro.engine.parallel import ParallelProber, RawEvaluation
-from repro.exceptions import CapacityError
+from repro.exceptions import CapacityError, EngineError
 from repro.graph.graph import SDFGraph
 
 #: Default cap on each prune antichain; evicting old witnesses only
@@ -80,6 +81,7 @@ class EvalStats(SearchStats):
     prunes_subset: int = 0
     parallel_batches: int = 0
     parallel_tasks: int = 0
+    fast_runs: int = 0
 
     @property
     def prunes(self) -> int:
@@ -130,6 +132,16 @@ class EvaluationService:
         Required for the superset prune; must be exact (pass the value
         of :func:`repro.analysis.throughput.max_throughput`), or leave
         unset / call :meth:`set_ceiling` once known.
+    engine:
+        Simulation kernel for *plain* throughput queries (``__call__``
+        / ``evaluate_many``): ``"auto"`` (default) and ``"fast"`` use
+        the event-calendar kernel of :mod:`repro.engine.fastcore`,
+        ``"reference"`` forces the instrumented reference executor.
+        Blocking-aware queries need per-channel blocking information
+        the fast kernel does not produce, so they always run on the
+        reference executor; ``engine="fast"`` makes them raise
+        :class:`~repro.exceptions.EngineError` instead of silently
+        switching.
     """
 
     def __init__(
@@ -142,11 +154,16 @@ class EvaluationService:
         ceiling: Fraction | None = None,
         prune_limit: int = _PRUNE_FRONT_LIMIT,
         stats: EvalStats | None = None,
+        engine: str = "auto",
     ):
+        if engine not in ENGINES:
+            raise EngineError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.graph = graph
         self.observe = observe if observe is not None else graph.actor_names[-1]
         self.workers = max(1, int(workers))
         self.cache_enabled = bool(cache)
+        self.engine = engine
+        self._kernel: FastKernel | None = None
         self.ceiling = ceiling
         self.stats = stats if stats is not None else EvalStats(workers=self.workers)
         self.stats.workers = self.workers
@@ -174,7 +191,7 @@ class EvaluationService:
         vector = self._vector(distribution)
         record = self._lookup(vector) or self._prune(distribution, vector)
         if record is None:
-            record = self._execute(distribution, vector)
+            record = self._execute(distribution, vector, blocking=False)
         return record.throughput
 
     def evaluate_many(self, distributions: Sequence[StorageDistribution]) -> list[Fraction]:
@@ -257,7 +274,7 @@ class EvaluationService:
                     records[index] = self._absorb(distribution, vector, raw)
             else:
                 for index, distribution, vector in misses:
-                    records[index] = self._execute(distribution, vector)
+                    records[index] = self._execute(distribution, vector, blocking=blocking)
         return records  # type: ignore[return-value]  # every slot filled above
 
     # -- cache internals ----------------------------------------------------
@@ -295,18 +312,37 @@ class EvaluationService:
         return None
 
     def _execute(
-        self, distribution: StorageDistribution, vector: tuple[int, ...]
+        self,
+        distribution: StorageDistribution,
+        vector: tuple[int, ...],
+        *,
+        blocking: bool = True,
     ) -> EvaluationRecord:
-        result = Executor(self.graph, distribution, self.observe, track_blocking=True).run()
+        if blocking and self.engine == "fast":
+            raise EngineError(
+                "engine='fast' cannot serve blocking-aware queries (the fast"
+                " kernel produces no per-channel blocking information);"
+                " use engine='auto' or engine='reference'"
+            )
         self.stats.evaluations += 1
+        if not blocking and self.engine != "reference":
+            if self._kernel is None:
+                self._kernel = kernel_for(self.graph, self.observe)
+            result = self._kernel.run(distribution)
+            self.stats.fast_runs += 1
+            record = EvaluationRecord(
+                distribution, result.throughput, result.states_stored, None, None
+            )
+        else:
+            result = Executor(self.graph, distribution, self.observe, track_blocking=True).run()
+            record = EvaluationRecord(
+                distribution,
+                result.throughput,
+                result.states_stored,
+                result.space_blocked,
+                dict(result.space_deficits),
+            )
         self.stats.max_states_stored = max(self.stats.max_states_stored, result.states_stored)
-        record = EvaluationRecord(
-            distribution,
-            result.throughput,
-            result.states_stored,
-            result.space_blocked,
-            dict(result.space_deficits),
-        )
         return self._store(vector, record)
 
     def _absorb(

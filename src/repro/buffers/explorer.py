@@ -107,6 +107,7 @@ def explore_design_space(
     collect_all_witnesses: bool = False,
     workers: int = 1,
     cache: bool = True,
+    engine: str = "auto",
     evaluator: EvaluationService | None = None,
 ) -> DesignSpaceResult:
     """Chart the full storage/throughput Pareto space of *graph*.
@@ -155,6 +156,15 @@ def explore_design_space(
         Keep the exact memo/pruning cache of the shared
         :class:`~repro.buffers.evalcache.EvaluationService` enabled.
         Disabling it is primarily a differential-testing baseline.
+    engine:
+        Simulation kernel for plain throughput probes — ``"auto"``
+        (default), ``"fast"`` or ``"reference"``; forwarded to the
+        internally created :class:`~repro.buffers.evalcache
+        .EvaluationService` (ignored when *evaluator* is given).  The
+        ``"dependency"`` strategy additionally needs blocking-aware
+        probes, which always run on the reference executor; forcing
+        ``engine="fast"`` there raises
+        :class:`~repro.exceptions.EngineError`.
     evaluator:
         Bring-your-own :class:`~repro.buffers.evalcache
         .EvaluationService` (e.g. to share a warm cache across several
@@ -179,7 +189,7 @@ def explore_design_space(
     service = (
         evaluator
         if evaluator is not None
-        else EvaluationService(graph, observe, workers=workers, cache=cache)
+        else EvaluationService(graph, observe, workers=workers, cache=cache, engine=engine)
     )
     try:
         # Sec. 9 takes the throughput at the [GGD02] upper bound as the
@@ -278,6 +288,8 @@ def minimal_distribution_for_throughput(
     constraint: Fraction,
     observe: str | None = None,
     token_sizes: Mapping[str, int] | None = None,
+    *,
+    engine: str = "auto",
 ) -> ParetoPoint | None:
     """Smallest storage distribution meeting a throughput constraint.
 
@@ -289,7 +301,9 @@ def minimal_distribution_for_throughput(
     assert_consistent(graph)
     if constraint <= 0:
         raise ExplorationError("the throughput constraint must be positive")
-    found = find_minimal_distribution(graph, constraint, observe, token_sizes=token_sizes)
+    found = find_minimal_distribution(
+        graph, constraint, observe, token_sizes=token_sizes, engine=engine
+    )
     if found is None:
         return None
     distribution, value = found

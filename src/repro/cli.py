@@ -31,7 +31,7 @@ from pathlib import Path
 from repro.buffers.distribution import StorageDistribution
 from repro.buffers.explorer import explore_design_space, minimal_distribution_for_throughput
 from repro.buffers.bounds import lower_bound_distribution, upper_bound_distribution
-from repro.engine.executor import Executor
+from repro.engine.executor import execute
 from repro.exceptions import ReproError
 from repro.gallery.registry import gallery_graph, gallery_names
 from repro.graph.graph import SDFGraph
@@ -129,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the exact evaluation memo/pruning cache (differential baseline)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "fast", "reference"),
+        default="auto",
+        help="simulation kernel for throughput probes: the fast event-calendar"
+        " kernel, the instrumented reference executor, or automatic selection"
+        " (default: auto)",
+    )
     parser.add_argument("--table", action="store_true", help="print a Table-2 style summary row")
     parser.add_argument("--bounds", action="store_true", help="print the storage bound box")
     parser.add_argument("--dot", action="store_true", help="export the graph as Graphviz DOT")
@@ -221,9 +229,13 @@ def _evaluate_distribution(graph: SDFGraph, arguments: argparse.Namespace, out) 
     need_schedule = any(
         value is not None for value in (arguments.schedule, arguments.vcd, arguments.svg)
     )
-    result = Executor(
-        graph, capacities, arguments.observe, record_schedule=need_schedule
-    ).run()
+    result = execute(
+        graph,
+        capacities,
+        arguments.observe,
+        engine=arguments.engine,
+        record_schedule=need_schedule,
+    )
     print(f"distribution {capacities} (size {capacities.size})", file=out)
     print(f"throughput of {result.observe!r}: {result.throughput}", file=out)
     if result.deadlocked:
@@ -270,7 +282,9 @@ def _evaluate_distribution(graph: SDFGraph, arguments: argparse.Namespace, out) 
 
 def _minimal_for_constraint(graph: SDFGraph, arguments: argparse.Namespace, out) -> int:
     constraint = parse_fraction(arguments.throughput)
-    point = minimal_distribution_for_throughput(graph, constraint, arguments.observe)
+    point = minimal_distribution_for_throughput(
+        graph, constraint, arguments.observe, engine=arguments.engine
+    )
     if point is None:
         print(f"throughput {constraint} is not achievable for {graph.name!r}", file=out)
         return 1
@@ -296,6 +310,7 @@ def _explore(graph: SDFGraph, arguments: argparse.Namespace, out) -> int:
         throughput_bounds=bounds,
         workers=arguments.workers,
         cache=not arguments.no_cache,
+        engine=arguments.engine,
     )
     print(result.summary(), file=out)
     if arguments.output_json:

@@ -24,10 +24,17 @@ Two equivalent drivers are provided: a paper-faithful tick-driven loop
 (one iteration per time step, as in the generated code of Fig. 8) and
 an event-driven loop that jumps to the next firing completion, which is
 asymptotically faster for graphs with large execution times.
+
+On top of the reference :class:`Executor`, :mod:`repro.engine.fastcore`
+provides a compiled event-calendar kernel (:class:`FastKernel`) that
+computes bit-for-bit identical results for uninstrumented runs; the
+``engine="auto"`` knob of :func:`execute` (and of the analysis and
+exploration entry points built on it) selects it automatically.
 """
 
 from repro.engine.concurrent import ConcurrentExecutor
 from repro.engine.executor import ExecutionResult, Executor, execute
+from repro.engine.fastcore import FastKernel, fast_execute, resolve_engine
 from repro.engine.schedule import Schedule
 from repro.engine.state import SDFState
 from repro.engine.statestore import StateStore
@@ -36,8 +43,11 @@ __all__ = [
     "ConcurrentExecutor",
     "ExecutionResult",
     "Executor",
+    "FastKernel",
     "SDFState",
     "Schedule",
     "StateStore",
     "execute",
+    "fast_execute",
+    "resolve_engine",
 ]

@@ -105,7 +105,7 @@ class ExecutionResult:
         return sum(record.distance for record in self.reduced_states[: self.transient_states])
 
 
-@dataclass
+@dataclass(slots=True)
 class _ActorInfo:
     """Precomputed per-actor firing data (index-based, engine internal)."""
 
@@ -113,6 +113,34 @@ class _ActorInfo:
     execution_time: int
     inputs: list[tuple[int, int]] = field(default_factory=list)
     outputs: list[tuple[int, int]] = field(default_factory=list)
+
+
+def validate_capacities(
+    graph: SDFGraph,
+    capacities: Mapping[str, int] | None,
+    channel_index: Mapping[str, int],
+) -> list[int | None]:
+    """Index-ordered capacity vector (``None`` = unbounded), validated.
+
+    Shared by the reference :class:`Executor` and the fast kernel in
+    :mod:`repro.engine.fastcore` so both reject malformed distributions
+    with identical errors.
+    """
+    caps: list[int | None] = [None] * len(channel_index)
+    if capacities is None:
+        return caps
+    for name, capacity in dict(capacities).items():
+        if name not in channel_index:
+            raise CapacityError(f"capacity given for unknown channel {name!r}")
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 0:
+            raise CapacityError(f"channel {name!r}: capacity must be a non-negative int")
+        if capacity < graph.channels[name].initial_tokens:
+            raise CapacityError(
+                f"channel {name!r}: capacity {capacity} is below its"
+                f" {graph.channels[name].initial_tokens} initial tokens"
+            )
+        caps[channel_index[name]] = capacity
+    return caps
 
 
 class Executor:
@@ -195,19 +223,7 @@ class Executor:
 
         channel_index = {name: j for j, name in enumerate(self.channel_names)}
         self._initial_tokens = [graph.channels[name].initial_tokens for name in self.channel_names]
-        self._capacities: list[int | None] = [None] * len(self.channel_names)
-        if capacities is not None:
-            for name, capacity in dict(capacities).items():
-                if name not in channel_index:
-                    raise CapacityError(f"capacity given for unknown channel {name!r}")
-                if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 0:
-                    raise CapacityError(f"channel {name!r}: capacity must be a non-negative int")
-                if capacity < graph.channels[name].initial_tokens:
-                    raise CapacityError(
-                        f"channel {name!r}: capacity {capacity} is below its"
-                        f" {graph.channels[name].initial_tokens} initial tokens"
-                    )
-                self._capacities[channel_index[name]] = capacity
+        self._capacities = validate_capacities(graph, capacities, channel_index)
 
         self._actors: list[_ActorInfo] = []
         for name in self.actor_names:
@@ -355,12 +371,19 @@ class Executor:
                 self._peak_occupancy = occupancy
         return observed
 
-    def _advance_time(self) -> bool:
-        """Move to the next time instant; ``False`` when nothing is running."""
+    def _advance_time(self, mode: str | None = None) -> bool:
+        """Move to the next time instant; ``False`` when nothing is running.
+
+        *mode* selects the time-advance semantics for this call only
+        (defaulting to the executor's configured mode), so callers that
+        need a different semantics — :meth:`explore_full_state_space`
+        always walks tick-by-tick — do not have to mutate ``self.mode``
+        and stay re-entrant with a concurrent :meth:`run`.
+        """
         busy = [clock for clock in self.clocks if clock > 0]
         if not busy:
             return False
-        delta = 1 if self.mode == "tick" else min(busy)
+        delta = 1 if (mode or self.mode) == "tick" else min(busy)
         self.time += delta
         for idx, clock in enumerate(self.clocks):
             if clock > 0:
@@ -529,37 +552,46 @@ class Executor:
         cycle starts (a deadlock shows up as a self-loop on an idle
         state, consistent with Property 1 of the paper).
         """
-        saved_mode = self.mode
-        self.mode = "tick"
-        try:
-            self._reset()
-            store: StateStore[SDFState] = StateStore()
-            self._process_instant()
-            while True:
-                state = self.state()
+        self._reset()
+        store: StateStore[SDFState] = StateStore()
+        self._process_instant()
+        while True:
+            state = self.state()
+            cycle_start = store.add(state)
+            if cycle_start is not None:
+                return list(store), cycle_start
+            if len(store) > max_states:
+                raise EngineError(f"full state space exceeds {max_states} states")
+            if not self._advance_time("tick"):
+                # Deadlock: time still advances in the timed model,
+                # but the state no longer changes — Property 1's
+                # self-loop.  Re-adding the same state closes it.
                 cycle_start = store.add(state)
-                if cycle_start is not None:
-                    return list(store), cycle_start
-                if len(store) > max_states:
-                    raise EngineError(f"full state space exceeds {max_states} states")
-                if not self._advance_time():
-                    # Deadlock: time still advances in the timed model,
-                    # but the state no longer changes — Property 1's
-                    # self-loop.  Re-adding the same state closes it.
-                    cycle_start = store.add(state)
-                    if cycle_start is None:  # pragma: no cover - defensive
-                        raise EngineError("deadlock state failed to close the state space")
-                    return list(store), cycle_start
-                self._process_instant()
-        finally:
-            self.mode = saved_mode
+                if cycle_start is None:  # pragma: no cover - defensive
+                    raise EngineError("deadlock state failed to close the state space")
+                return list(store), cycle_start
+            self._process_instant()
 
 
 def execute(
     graph: SDFGraph,
     capacities: Mapping[str, int] | None = None,
     observe: str | None = None,
+    *,
+    engine: str = "auto",
     **kwargs,
 ) -> ExecutionResult:
-    """Convenience wrapper: build an :class:`Executor` and run it."""
+    """Convenience wrapper: run *graph* on the selected engine.
+
+    ``engine="auto"`` (the default) uses the fast event-calendar kernel
+    of :mod:`repro.engine.fastcore` whenever no instrumentation is
+    requested (no schedule recording, blocking/occupancy tracking,
+    processor mapping or tick mode) and this reference executor
+    otherwise; ``"fast"`` / ``"reference"`` force one of the two.
+    """
+    from repro.engine.fastcore import fast_execute, resolve_engine
+
+    if resolve_engine(engine, kwargs) == "fast":
+        options = {k: v for k, v in kwargs.items() if k in ("max_instants", "stall_threshold")}
+        return fast_execute(graph, capacities, observe, **options)
     return Executor(graph, capacities, observe, **kwargs).run()

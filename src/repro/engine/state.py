@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SDFState:
     """An execution state: actor clocks plus channel token counts.
 
@@ -36,7 +36,7 @@ class SDFState:
         return "(" + ", ".join(str(v) for v in self.as_tuple()) + ")"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReducedState:
     """A state of the reduced space of Sec. 7.
 

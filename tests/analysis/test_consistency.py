@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.consistency import assert_consistent, is_consistent
+from repro.analysis.consistency import assert_consistent, consistency_stats, is_consistent
 from repro.exceptions import InconsistentGraphError
 from repro.graph.builder import GraphBuilder
 
@@ -28,3 +28,52 @@ def test_inconsistent_graph():
     assert not is_consistent(graph)
     with pytest.raises(InconsistentGraphError):
         assert_consistent(graph)
+
+
+def test_verdict_memoised_per_graph(fig1):
+    consistency_stats.reset()
+    first = assert_consistent(fig1)
+    assert assert_consistent(fig1) == first
+    assert is_consistent(fig1)
+    assert consistency_stats.computations == 1
+    assert consistency_stats.hits == 2
+
+
+def test_memoised_vector_is_a_private_copy(fig1):
+    assert_consistent(fig1)["a"] = 999
+    assert assert_consistent(fig1)["a"] == 3
+
+
+def test_inconsistent_verdict_memoised():
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b", 1, 2)
+        .channel("b", "a", 1, 1)
+        .build()
+    )
+    consistency_stats.reset()
+    for _ in range(3):
+        with pytest.raises(InconsistentGraphError):
+            assert_consistent(graph)
+    assert consistency_stats.computations == 1
+    assert consistency_stats.hits == 2
+
+
+def test_memo_invalidated_by_structural_growth(fig1):
+    consistency_stats.reset()
+    assert_consistent(fig1)
+    fig1.add_actor("extra", 1)
+    fig1.add_channel("c", "extra", 1, 1)
+    fig1.add_channel("extra", "c", 1, 1, 1)
+    assert_consistent(fig1)
+    assert consistency_stats.computations == 2
+
+
+def test_exploration_verifies_consistency_exactly_once(fig1):
+    from repro.buffers.explorer import explore_design_space
+
+    consistency_stats.reset()
+    explore_design_space(fig1, "c")
+    assert consistency_stats.computations == 1
+    assert consistency_stats.hits >= 1

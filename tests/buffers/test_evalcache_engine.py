@@ -1,0 +1,66 @@
+"""EvaluationService engine selection: fast kernel for plain queries,
+reference executor for blocking-aware ones, identical answers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.evalcache import EvaluationService
+from repro.exceptions import EngineError
+
+
+def distributions():
+    return [
+        StorageDistribution({"alpha": 4 + i, "beta": 2 + j})
+        for i in range(3)
+        for j in range(2)
+    ]
+
+
+def test_plain_queries_use_fast_kernel_by_default(fig1):
+    service = EvaluationService(fig1, "c")
+    values = [service(d) for d in distributions()]
+    assert service.stats.fast_runs == service.stats.evaluations > 0
+    reference = EvaluationService(fig1, "c", engine="reference")
+    assert values == [reference(d) for d in distributions()]
+    assert reference.stats.fast_runs == 0
+
+
+def test_blocking_queries_always_run_on_reference(fig1):
+    service = EvaluationService(fig1, "c")
+    record = service.evaluate_blocking(StorageDistribution({"alpha": 4, "beta": 2}))
+    assert record.has_blocking
+    assert service.stats.fast_runs == 0
+
+
+def test_forced_fast_engine_rejects_blocking_queries(fig1):
+    service = EvaluationService(fig1, "c", engine="fast")
+    assert service(StorageDistribution({"alpha": 4, "beta": 2})) == Fraction(1, 7)
+    with pytest.raises(EngineError, match="blocking-aware"):
+        service.evaluate_blocking(StorageDistribution({"alpha": 4, "beta": 2}))
+
+
+def test_unknown_engine_rejected_at_construction(fig1):
+    with pytest.raises(EngineError, match="unknown engine"):
+        EvaluationService(fig1, "c", engine="warp")
+
+
+def test_blocking_record_never_replaced_by_thin_one(fig1):
+    service = EvaluationService(fig1, "c")
+    d = StorageDistribution({"alpha": 4, "beta": 2})
+    full = service.evaluate_blocking(d)
+    assert service(d) == full.throughput  # served from cache
+    assert service.evaluate_blocking(d) is full
+    assert service.stats.evaluations == 1
+
+
+def test_thin_record_upgraded_when_blocking_needed(fig1):
+    service = EvaluationService(fig1, "c")
+    d = StorageDistribution({"alpha": 4, "beta": 2})
+    thin_throughput = service(d)
+    assert service.stats.fast_runs == 1
+    record = service.evaluate_blocking(d)
+    assert record.has_blocking
+    assert record.throughput == thin_throughput
+    assert service.stats.evaluations == 2  # re-executed for blocking data

@@ -1,0 +1,123 @@
+"""Edge cases both engines must classify identically.
+
+Covers the hazards a calendar-based kernel could plausibly get wrong:
+diverging zero-execution-time cascades (the ``_MAX_FIRINGS_PER_INSTANT``
+guard), converging zero-duration cascades (multi-firing reduced states),
+observed-actor starvation via ``stall_threshold``, and malformed
+capacity vectors.
+"""
+
+import pytest
+
+import repro.engine.executor as executor_module
+from repro.engine.executor import Executor
+from repro.engine.fastcore import FastKernel
+from repro.exceptions import CapacityError, EngineError
+from repro.graph.builder import GraphBuilder
+
+
+def both_outcomes(graph, caps, observe, **options):
+    """(reference, fast) pair of results-or-error-strings."""
+
+    def outcome(run):
+        try:
+            return run()
+        except (EngineError, CapacityError) as error:
+            return f"{type(error).__name__}: {error}"
+
+    reference = outcome(lambda: Executor(graph, caps, observe, **options).run())
+    fast = outcome(lambda: FastKernel(graph, observe).run(caps, **options))
+    return reference, fast
+
+
+def test_diverging_zero_time_cascade_trips_guard_in_both(monkeypatch):
+    """A zero-time source on an unbounded channel fires forever within
+    t=0; both engines must raise the identical guard error."""
+    monkeypatch.setattr(executor_module, "_MAX_FIRINGS_PER_INSTANT", 500)
+    graph = GraphBuilder().actors({"a": 0, "b": 1}).channel("a", "b", 1, 1).build()
+    reference, fast = both_outcomes(graph, None, "b")
+    assert fast == reference
+    assert "zero-execution-time cascade" in reference
+
+
+def test_bounded_zero_time_cascade_converges_identically():
+    """With a bounded output the same cascade stops when the channel
+    fills; the engines must agree on the resulting steady state."""
+    graph = GraphBuilder().actors({"a": 0, "b": 1}).channel("a", "b", 1, 1).build()
+    reference, fast = both_outcomes(graph, {"ch0": 5}, "b")
+    assert fast == reference
+    assert not reference.deadlocked
+
+
+def test_multi_firing_instants_of_observed_actor():
+    """A zero-time observed actor completes several firings per instant;
+    the reduced states record ``firings > 1`` and must match."""
+    graph = GraphBuilder().actors({"a": 1, "b": 0}).channel("a", "b", 3, 1).build()
+    reference, fast = both_outcomes(graph, {"ch0": 3}, "b")
+    assert fast == reference
+    assert any(state.firings == 3 for state in reference.reduced_states)
+
+
+def test_observed_actor_starvation_detected_identically():
+    """The observed actor fires once and then starves while an
+    unrelated component keeps the clock advancing: only the
+    ``stall_threshold`` full-state check can classify this, and both
+    engines must agree (deadlocked, no deadlock time)."""
+    graph = (
+        GraphBuilder()
+        .actors({"x": 1, "y": 1, "z": 1})
+        .self_loop("x")
+        .channel("y", "z", 1, 1, initial_tokens=1, name="c_yz")
+        .channel("z", "y", 1, 2, initial_tokens=0, name="c_zy")
+        .build(validate=False)
+    )
+    reference, fast = both_outcomes(
+        graph, {"c_yz": 2, "c_zy": 2, "ch0": 2}, "z", stall_threshold=10
+    )
+    assert fast == reference
+    assert reference.deadlocked
+    assert reference.deadlock_time is None
+    assert reference.throughput == 0
+
+
+def test_true_deadlock_classified_identically():
+    """An insufficient-token cycle deadlocks at a definite time."""
+    graph = (
+        GraphBuilder()
+        .actors({"a": 2, "b": 3})
+        .channel("a", "b", 1, 2, initial_tokens=1, name="fwd")
+        .channel("b", "a", 1, 1, initial_tokens=1, name="back")
+        .build(validate=False)
+    )
+    reference, fast = both_outcomes(graph, {"fwd": 2, "back": 2}, "b")
+    assert fast == reference
+    assert reference.deadlocked
+    assert reference.deadlock_time is not None
+
+
+@pytest.mark.parametrize(
+    "caps, message",
+    [
+        ({"ch0": 1}, "below its 2 initial tokens"),
+        ({"nope": 3}, "unknown channel"),
+        ({"ch0": -1}, "non-negative int"),
+        ({"ch0": True}, "non-negative int"),
+    ],
+)
+def test_malformed_capacities_rejected_identically(caps, message):
+    graph = (
+        GraphBuilder()
+        .actors({"a": 1, "b": 1})
+        .channel("a", "b", 1, 1, initial_tokens=2)
+        .build()
+    )
+    reference, fast = both_outcomes(graph, caps, "b")
+    assert fast == reference
+    assert "CapacityError" in reference
+    assert message in reference
+
+
+def test_max_instants_guard_agrees(fig1):
+    reference, fast = both_outcomes(fig1, {"alpha": 4, "beta": 2}, "c", max_instants=2)
+    assert fast == reference
+    assert "exceeded 2 time instants" in reference

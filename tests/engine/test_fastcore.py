@@ -1,0 +1,168 @@
+"""Differential tests: fast event-calendar kernel vs reference executor.
+
+The fast kernel must be *bit-for-bit* equivalent to the reference
+``Executor`` on uninstrumented runs — the tests below therefore compare
+full :class:`ExecutionResult` dataclasses (throughput, transient/cycle
+state counts, ``states_stored``, ``first_firing_time``, deadlock
+classification, and the reduced states themselves), not just the
+throughput value.
+"""
+
+import pytest
+
+from repro.buffers.bounds import lower_bound_distribution
+from repro.engine.executor import Executor, execute
+from repro.engine.fastcore import (
+    ENGINES,
+    FastKernel,
+    fast_execute,
+    kernel_for,
+    resolve_engine,
+    unsupported_options,
+)
+from repro.exceptions import EngineError, GraphError
+from repro.gallery import (
+    fig1_example,
+    fig6_example,
+    h263_decoder,
+    modem,
+    sample_rate_converter,
+    satellite_receiver,
+)
+
+GALLERY = {
+    "fig1": fig1_example,
+    "fig6": fig6_example,
+    "modem": modem,
+    "samplerate": sample_rate_converter,
+    "satellite": satellite_receiver,
+    "h263-small": lambda: h263_decoder(blocks=9),
+}
+
+
+def _capacity_sweep(graph):
+    """Lower bound + slack sweep, plus deadlock-prone tightened vectors."""
+    lower = lower_bound_distribution(graph)
+    for slack in (0, 1, 2, 5):
+        yield {name: lower[name] + slack for name in graph.channel_names}
+    for squeeze in (1, 2):
+        yield {
+            name: max(graph.channels[name].initial_tokens, lower[name] - squeeze)
+            for name in graph.channel_names
+        }
+
+
+@pytest.mark.parametrize("name", sorted(GALLERY))
+def test_gallery_bitwise_equivalent_across_capacity_sweep(name):
+    graph = GALLERY[name]()
+    kernel = FastKernel(graph)
+    for caps in _capacity_sweep(graph):
+        reference = Executor(graph, caps).run()
+        assert kernel.run(caps) == reference
+
+
+@pytest.mark.parametrize("name", sorted(GALLERY))
+def test_gallery_equivalent_under_explicit_observe(name):
+    graph = GALLERY[name]()
+    observe = graph.actor_names[0]
+    lower = lower_bound_distribution(graph)
+    caps = {n: lower[n] + 1 for n in graph.channel_names}
+    assert FastKernel(graph, observe).run(caps) == Executor(graph, caps, observe).run()
+
+
+def test_fast_execute_equals_execute_reference(fig1):
+    caps = {"alpha": 4, "beta": 2}
+    assert fast_execute(fig1, caps, "c") == execute(fig1, caps, "c", engine="reference")
+    assert execute(fig1, caps, "c", engine="fast") == execute(fig1, caps, "c", engine="auto")
+
+
+# -- engine resolution --------------------------------------------------
+
+
+def test_resolve_engine_auto_picks_fast_when_uninstrumented():
+    assert resolve_engine("auto", {}) == "fast"
+    assert resolve_engine("auto", None) == "fast"
+    assert resolve_engine("auto", {"max_instants": 100, "stall_threshold": 5}) == "fast"
+    # Falsy instrumentation flags do not force the reference engine.
+    assert resolve_engine("auto", {"record_schedule": False, "processors": None}) == "fast"
+    assert resolve_engine("auto", {"mode": "event"}) == "fast"
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        {"record_schedule": True},
+        {"track_blocking": True},
+        {"track_occupancy": True},
+        {"processors": {"a": "p0"}},
+        {"mode": "tick"},
+    ],
+)
+def test_resolve_engine_auto_falls_back_on_instrumentation(options):
+    assert resolve_engine("auto", options) == "reference"
+    assert resolve_engine("reference", options) == "reference"
+    with pytest.raises(EngineError):
+        resolve_engine("fast", options)
+
+
+def test_resolve_engine_rejects_unknown_name():
+    with pytest.raises(EngineError, match="unknown engine"):
+        resolve_engine("turbo")
+    assert set(ENGINES) == {"auto", "fast", "reference"}
+
+
+def test_unsupported_options_lists_blockers_sorted():
+    blockers = unsupported_options(
+        {"track_blocking": True, "record_schedule": True, "max_instants": 7}
+    )
+    assert blockers == ["record_schedule", "track_blocking"]
+    assert unsupported_options({"mode": "tick"}) == ["mode='tick'"]
+
+
+def test_execute_auto_keeps_instrumentation(fig1):
+    result = execute(fig1, {"alpha": 4, "beta": 2}, "c", record_schedule=True)
+    assert result.schedule is not None  # reference fallback produced it
+
+
+def test_execute_fast_with_instrumentation_raises(fig1):
+    with pytest.raises(EngineError, match="does not support record_schedule"):
+        execute(fig1, {"alpha": 4, "beta": 2}, "c", engine="fast", record_schedule=True)
+
+
+# -- kernel compilation and caching -------------------------------------
+
+
+def test_kernel_for_reuses_compiled_kernel(fig1):
+    assert kernel_for(fig1, "c") is kernel_for(fig1, "c")
+    assert kernel_for(fig1, "a") is not kernel_for(fig1, "c")
+
+
+def test_kernel_cache_invalidated_by_structural_growth(fig1):
+    before = kernel_for(fig1, "c")
+    fig1.add_actor("extra", 1)
+    fig1.add_channel("c", "extra", 1, 1)
+    after = kernel_for(fig1, "extra")
+    assert after is not before
+    # The old observe key was recompiled too (shape changed).
+    assert kernel_for(fig1, "c") is not before
+
+
+def test_kernel_rejects_empty_graph():
+    from repro.graph.graph import SDFGraph
+
+    with pytest.raises(GraphError, match="empty graph"):
+        FastKernel(SDFGraph("empty"))
+
+
+def test_kernel_rejects_unknown_observe(fig1):
+    with pytest.raises(GraphError, match="unknown observed actor"):
+        FastKernel(fig1, "nope")
+
+
+def test_kernel_run_is_repeatable(fig1):
+    kernel = FastKernel(fig1, "c")
+    caps = {"alpha": 4, "beta": 2}
+    assert kernel.run(caps) == kernel.run(caps)
+    # A different distribution on the same kernel stays independent.
+    wider = kernel.run({"alpha": 7, "beta": 3})
+    assert wider.throughput > kernel.run(caps).throughput

@@ -1,0 +1,56 @@
+"""CLI: the --engine flag selects the simulation kernel."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(args):
+    import contextlib
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(args)
+    return code, out.getvalue()
+
+
+@pytest.mark.parametrize("engine", ["auto", "fast", "reference"])
+def test_explore_output_identical_across_engines(engine):
+    code, text = run_cli(
+        ["gallery:example", "--observe", "c", "--strategy", "divide", "--engine", engine]
+    )
+    assert code == 0
+    assert "size=6 throughput=1/7" in text
+    assert "size=10 throughput=1/4" in text
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_evaluate_distribution_across_engines(engine):
+    code, text = run_cli(
+        ["gallery:example", "--capacities", "alpha=4,beta=2", "--engine", engine]
+    )
+    assert code == 0
+    assert "throughput of 'c': 1/7" in text
+
+
+def test_fast_engine_with_schedule_errors_cleanly(capsys):
+    code = main(
+        [
+            "gallery:example",
+            "--capacities",
+            "alpha=4,beta=2",
+            "--schedule",
+            "8",
+            "--engine",
+            "fast",
+        ]
+    )
+    assert code == 1
+    assert "does not support record_schedule" in capsys.readouterr().err
+
+
+def test_unknown_engine_rejected_by_argparse():
+    with pytest.raises(SystemExit):
+        main(["gallery:example", "--engine", "warp"])
