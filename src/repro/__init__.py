@@ -49,18 +49,34 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.graph import Actor, Channel, GraphBuilder, SDFGraph
+from repro.runtime import (
+    Budget,
+    BudgetExhausted,
+    CancelToken,
+    CheckpointError,
+    ExplorationConfig,
+    ResumeToken,
+    TelemetryEvent,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Actor",
+    "Budget",
+    "BudgetExhausted",
+    "CancelToken",
     "CapacityError",
     "Channel",
+    "CheckpointError",
     "DeadlockError",
     "DesignSpaceResult",
     "EngineError",
     "ExecutionResult",
     "Executor",
+    "ExplorationConfig",
     "ExplorationError",
     "GraphBuilder",
     "GraphError",
@@ -69,13 +85,17 @@ __all__ = [
     "ParetoPoint",
     "ParseError",
     "ReproError",
+    "ResumeToken",
     "SDFGraph",
     "Schedule",
     "StorageDistribution",
+    "TelemetryEvent",
     "ValidationError",
     "__version__",
     "execute",
     "explore_design_space",
+    "load_checkpoint",
+    "save_checkpoint",
     "is_consistent",
     "is_deadlock_free",
     "lower_bound_distribution",

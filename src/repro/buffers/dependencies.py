@@ -42,7 +42,9 @@ from collections.abc import Mapping
 from repro.buffers.bounds import lower_bound_distribution
 from repro.buffers.distribution import StorageDistribution
 from repro.buffers.evalcache import EvaluationService
+from repro.exceptions import BudgetExhausted
 from repro.graph.graph import SDFGraph
+from repro.runtime.config import UNSET, ExplorationConfig, coerce_config
 
 
 @dataclass
@@ -57,11 +59,21 @@ class DependencyStats:
 
 @dataclass(frozen=True)
 class DependencySweepResult:
-    """All distributions evaluated by the sweep, with throughputs."""
+    """All distributions evaluated by the sweep, with throughputs.
+
+    ``complete`` is ``False`` when a run-controller budget interrupted
+    the sweep; ``pending`` then lists the frontier distributions that
+    were queued but never evaluated (informational — resuming replays
+    from the seed over the warm cache), and ``exhausted`` names the
+    tripped limit.
+    """
 
     evaluations: dict[StorageDistribution, Fraction]
     stats: DependencyStats
     first_reaching_target: StorageDistribution | None = None
+    complete: bool = True
+    exhausted: str | None = None
+    pending: tuple[StorageDistribution, ...] = ()
 
 
 def dependency_sweep(
@@ -74,8 +86,9 @@ def dependency_sweep(
     start: StorageDistribution | None = None,
     stop_at_first: bool = False,
     token_sizes: Mapping[str, int] | None = None,
-    evaluator: EvaluationService | None = None,
-    engine: str = "auto",
+    config: ExplorationConfig | None = None,
+    evaluator: object = UNSET,
+    engine: object = UNSET,
 ) -> DependencySweepResult:
     """Explore the useful sub-lattice of storage distributions.
 
@@ -93,19 +106,26 @@ def dependency_sweep(
     stop_at_first:
         Return as soon as the first distribution reaching
         *stop_throughput* is popped (minimal-size witness queries).
-    evaluator:
-        Optional shared :class:`~repro.buffers.evalcache
-        .EvaluationService`; a private serial one is created otherwise
-        (with *engine*, which is ignored when *evaluator* is given —
-        note the sweep's probes are blocking-aware, so they run on the
-        reference executor under ``"auto"`` and ``engine="fast"``
-        raises :class:`~repro.exceptions.EngineError`).
+    config:
+        The run's :class:`~repro.runtime.config.ExplorationConfig`.
+        ``config.evaluator`` shares a ready-made
+        :class:`~repro.buffers.evalcache.EvaluationService` (warm
+        cache, budget, telemetry); otherwise a private service is
+        built from the config and closed before returning.  Note the
+        sweep's probes are blocking-aware, so they run on the
+        reference executor under ``engine="auto"`` and
+        ``engine="fast"`` raises
+        :class:`~repro.exceptions.EngineError`.
         With ``workers > 1`` the frontier entries of one size — which
         are all known before any of them is processed, because every
         expansion strictly grows the size — are evaluated as one
         parallel batch; the results are then folded in the exact heap
         order of the serial sweep, so the explored set, the recorded
         throughputs and the first witness are identical.
+        A budget interruption lands between probes; the sweep then
+        returns everything evaluated so far with ``complete=False``.
+    evaluator / engine:
+        Deprecated aliases for the config fields of the same name.
 
     A sweep without *stop_throughput* diverges on most graphs (a
     source actor that is merely *ahead* keeps hitting full channels at
@@ -119,12 +139,14 @@ def dependency_sweep(
             "dependency_sweep needs a stop_throughput (usually the graph's maximal"
             " throughput) or a max_size; otherwise capacity growth never terminates"
         )
-    seed = start if start is not None else lower_bound_distribution(graph)
-    service = (
-        evaluator
-        if evaluator is not None
-        else EvaluationService(graph, observe, engine=engine)
+    config = coerce_config(
+        config, caller="dependency_sweep", evaluator=evaluator, engine=engine
     )
+    seed = start if start is not None else lower_bound_distribution(graph)
+    service = config.evaluator
+    owns_service = service is None
+    if service is None:
+        service = EvaluationService(graph, observe, config=config.replaced(evaluator=None))
     stats = DependencyStats()
     evaluations: dict[StorageDistribution, Fraction] = {}
     first_reaching: StorageDistribution | None = None
@@ -158,57 +180,89 @@ def dependency_sweep(
     # point has size <= S0 (the front cannot rise above the target),
     # so the exponential lattice beyond S0 need not be explored.
     ceiling: int | None = None
+    interrupted: str | None = None
+    pending: tuple[StorageDistribution, ...] = ()
+    batch: list[StorageDistribution] = []
+    batch_done = 0
 
     push(seed)
-    while heap:
-        size = heap[0][0]
-        if ceiling is not None and size > ceiling:
-            break
-        # Every expansion strictly increases the cost, so all frontier
-        # entries of the current cost are already queued: pop them as
-        # one batch of independent probes.
-        batch: list[StorageDistribution] = []
-        while heap and heap[0][0] == size:
-            batch.append(heapq.heappop(heap)[2])
-        for distribution in batch:
-            queued.discard(distribution)
+    try:
+        while heap:
+            size = heap[0][0]
+            if ceiling is not None and size > ceiling:
+                break
+            # Every expansion strictly increases the cost, so all frontier
+            # entries of the current cost are already queued: pop them as
+            # one batch of independent probes.
+            batch = []
+            batch_done = 0
+            while heap and heap[0][0] == size:
+                batch.append(heapq.heappop(heap)[2])
+            for distribution in batch:
+                queued.discard(distribution)
 
-        if service.workers > 1 and len(batch) > 1:
-            records = service.evaluate_blocking_many(batch, reached)
-        else:
-            records = None  # evaluate lazily, preserving serial early exits
+            if service.workers > 1 and len(batch) > 1:
+                records = service.evaluate_blocking_many(batch, reached)
+            else:
+                records = None  # evaluate lazily, preserving serial early exits
 
-        stop = False
-        for position, distribution in enumerate(batch):
-            record = (
-                records[position]
-                if records is not None
-                else service.evaluate_blocking(distribution, reached)
-            )
-            stats.evaluations += 1
-            stats.max_states_stored = max(stats.max_states_stored, record.states_stored)
-            evaluations[distribution] = record.throughput
+            stop = False
+            for position, distribution in enumerate(batch):
+                batch_done = position
+                record = (
+                    records[position]
+                    if records is not None
+                    else service.evaluate_blocking(distribution, reached)
+                )
+                stats.evaluations += 1
+                stats.max_states_stored = max(stats.max_states_stored, record.states_stored)
+                evaluations[distribution] = record.throughput
 
-            if reached(record.throughput):
-                if first_reaching is None:
-                    first_reaching = distribution
-                    if stop_at_first:
-                        stop = True
-                        break
-                if ceiling is None or size < ceiling:
-                    ceiling = size
-                continue
-            for channel in record.space_blocked or ():
-                step = (record.space_deficits or {}).get(channel, 1)
-                stats.expansions += 1
-                successor = distribution.incremented(channel, step)
-                if ceiling is not None and cost(successor) > ceiling:
+                if reached(record.throughput):
+                    if first_reaching is None:
+                        first_reaching = distribution
+                        if stop_at_first:
+                            stop = True
+                            break
+                    if ceiling is None or size < ceiling:
+                        ceiling = size
+                        service.telemetry.emit(
+                            "frontier_update",
+                            size=size,
+                            throughput=str(record.throughput),
+                        )
                     continue
-                push(successor)
-        if stop:
-            break
+                for channel in record.space_blocked or ():
+                    step = (record.space_deficits or {}).get(channel, 1)
+                    stats.expansions += 1
+                    successor = distribution.incremented(channel, step)
+                    if ceiling is not None and cost(successor) > ceiling:
+                        continue
+                    push(successor)
+            batch_done = len(batch)
+            if stop:
+                break
+    except BudgetExhausted as exhausted:
+        # Interruption is cooperative (between probes), so everything
+        # recorded is exact; keep the unevaluated remainder of the
+        # frontier for observability and return a partial result
+        # instead of losing the work already paid for.
+        interrupted = exhausted.reason
+        pending = tuple(batch[batch_done:]) + tuple(
+            entry for _, _, entry in sorted(heap)
+        )
+    finally:
+        if owns_service:
+            service.close()
 
-    return DependencySweepResult(evaluations, stats, first_reaching)
+    return DependencySweepResult(
+        evaluations,
+        stats,
+        first_reaching,
+        complete=interrupted is None,
+        exhausted=interrupted,
+        pending=pending,
+    )
 
 
 def find_minimal_distribution(
@@ -218,8 +272,9 @@ def find_minimal_distribution(
     *,
     max_size: int | None = None,
     token_sizes: Mapping[str, int] | None = None,
-    evaluator: EvaluationService | None = None,
-    engine: str = "auto",
+    config: ExplorationConfig | None = None,
+    evaluator: object = UNSET,
+    engine: object = UNSET,
 ) -> tuple[StorageDistribution, Fraction] | None:
     """Smallest distribution whose throughput meets *constraint*.
 
@@ -228,26 +283,45 @@ def find_minimal_distribution(
     distributions, the first popped distribution meeting the
     constraint has globally minimal size.  Returns ``None`` when the
     constraint is unachievable (above the graph's maximal throughput,
-    or above *max_size*).
+    or above *max_size*).  If a budget on *config* trips before a
+    witness is popped, :class:`~repro.exceptions.BudgetExhausted`
+    propagates — a plain ``None`` would be indistinguishable from
+    "provably unachievable".
     """
+    config = coerce_config(
+        config, caller="find_minimal_distribution", evaluator=evaluator, engine=engine
+    )
     # An unachievable constraint must be rejected up front: without a
     # reachable stop level the sweep's size ceiling never engages and
     # capacity growth would not terminate.
     from repro.analysis.throughput import max_throughput
 
-    if constraint > max_throughput(graph, observe, evaluator=evaluator):
-        return None
-    result = dependency_sweep(
-        graph,
-        observe,
-        stop_throughput=constraint,
-        max_size=max_size,
-        stop_at_first=True,
-        token_sizes=token_sizes,
-        evaluator=evaluator,
-        engine=engine,
-    )
+    service = config.evaluator
+    owns_service = service is None
+    if service is None:
+        service = EvaluationService(graph, observe, config=config.replaced(evaluator=None))
+    try:
+        if constraint > max_throughput(graph, observe, evaluator=service):
+            return None
+        result = dependency_sweep(
+            graph,
+            observe,
+            stop_throughput=constraint,
+            max_size=max_size,
+            stop_at_first=True,
+            token_sizes=token_sizes,
+            config=ExplorationConfig(evaluator=service),
+        )
+    finally:
+        if owns_service:
+            service.close()
     witness = result.first_reaching_target
     if witness is None:
+        if not result.complete:
+            raise BudgetExhausted(
+                "exploration budget exhausted before a minimal distribution"
+                f" was found ({result.exhausted})",
+                reason=result.exhausted or "budget",
+            )
         return None
     return witness, result.evaluations[witness]

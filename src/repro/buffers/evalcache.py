@@ -40,6 +40,17 @@ process pool.  ``workers=1`` is exactly today's serial path; results
 are merged back in input order, so batch callers observe the same
 deterministic sequence either way.
 
+**Run control.**  The service carries the run's
+:class:`~repro.runtime.controller.RunController` and
+:class:`~repro.runtime.telemetry.TelemetryHub` (built from its
+:class:`~repro.runtime.config.ExplorationConfig`): every execution is
+charged against the budget *before* it starts, so interruption lands on
+a probe boundary and all recorded results stay exact; cache hits,
+prunes and probe timings stream out as structured events.
+:meth:`EvaluationService.export_state` / ``restore_state`` round-trip
+the memo (blocking records included) for the checkpoint/resume story of
+:mod:`repro.runtime.checkpoint`.
+
 The differential test harness (``tests/properties/test_prop_evalcache
 .py``) asserts that explorations through this service — cache on or
 off, serial or parallel — return Pareto fronts identical to the plain
@@ -48,6 +59,7 @@ serial path, witnesses included.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, NamedTuple
@@ -58,8 +70,11 @@ from repro.buffers.search import SearchStats
 from repro.engine.executor import Executor
 from repro.engine.fastcore import ENGINES, FastKernel, kernel_for
 from repro.engine.parallel import ParallelProber, RawEvaluation
-from repro.exceptions import CapacityError, EngineError
+from repro.exceptions import CapacityError, EngineError, ExplorationError
 from repro.graph.graph import SDFGraph
+from repro.runtime.config import UNSET, ExplorationConfig, coerce_config
+from repro.runtime.controller import RunController
+from repro.runtime.telemetry import TelemetryHub
 
 #: Default cap on each prune antichain; evicting old witnesses only
 #: reduces prune opportunities, never correctness.
@@ -82,6 +97,8 @@ class EvalStats(SearchStats):
     parallel_batches: int = 0
     parallel_tasks: int = 0
     fast_runs: int = 0
+    pool_restarts: int = 0
+    pool_fallback_reason: str | None = None
 
     @property
     def prunes(self) -> int:
@@ -122,26 +139,24 @@ class EvaluationService:
 
     Parameters
     ----------
-    workers:
-        Process-pool size for batch queries; ``1`` stays serial.
-    cache:
-        Disable to turn the service into a plain (optionally parallel)
-        executor frontend — the differential-test baseline.
+    config:
+        The :class:`~repro.runtime.config.ExplorationConfig` governing
+        this service: ``engine`` / ``workers`` / ``cache`` select the
+        kernel, pool size and memoisation; ``budget`` and ``on_event``
+        wire the service's :class:`~repro.runtime.controller
+        .RunController` and :class:`~repro.runtime.telemetry
+        .TelemetryHub`; ``probe_timeout`` / ``max_pool_restarts`` /
+        ``retry_backoff`` tune the fault-tolerant worker pool.  The
+        ``evaluator`` field must be unset — a service cannot wrap
+        another service.
     ceiling:
         The graph's **maximal throughput over all distributions**.
         Required for the superset prune; must be exact (pass the value
         of :func:`repro.analysis.throughput.max_throughput`), or leave
         unset / call :meth:`set_ceiling` once known.
-    engine:
-        Simulation kernel for *plain* throughput queries (``__call__``
-        / ``evaluate_many``): ``"auto"`` (default) and ``"fast"`` use
-        the event-calendar kernel of :mod:`repro.engine.fastcore`,
-        ``"reference"`` forces the instrumented reference executor.
-        Blocking-aware queries need per-channel blocking information
-        the fast kernel does not produce, so they always run on the
-        reference executor; ``engine="fast"`` makes them raise
-        :class:`~repro.exceptions.EngineError` instead of silently
-        switching.
+    workers / cache / engine:
+        Deprecated aliases for the config fields of the same name; they
+        build a config under a :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -149,20 +164,34 @@ class EvaluationService:
         graph: SDFGraph,
         observe: str | None = None,
         *,
-        workers: int = 1,
-        cache: bool = True,
+        config: ExplorationConfig | None = None,
         ceiling: Fraction | None = None,
         prune_limit: int = _PRUNE_FRONT_LIMIT,
         stats: EvalStats | None = None,
-        engine: str = "auto",
+        workers: object = UNSET,
+        cache: object = UNSET,
+        engine: object = UNSET,
     ):
-        if engine not in ENGINES:
-            raise EngineError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        config = coerce_config(
+            config, caller="EvaluationService", workers=workers, cache=cache, engine=engine
+        )
+        if config.evaluator is not None:
+            raise ExplorationError(
+                "EvaluationService cannot be built from a config carrying an"
+                " evaluator; use that service directly"
+            )
+        if config.engine not in ENGINES:  # config validates too; belt and braces
+            raise EngineError(
+                f"unknown engine {config.engine!r}; expected one of {ENGINES}"
+            )
         self.graph = graph
         self.observe = observe if observe is not None else graph.actor_names[-1]
-        self.workers = max(1, int(workers))
-        self.cache_enabled = bool(cache)
-        self.engine = engine
+        self.config = config
+        self.workers = max(1, int(config.workers))
+        self.cache_enabled = bool(config.cache)
+        self.engine = config.engine
+        self.telemetry = TelemetryHub(config.on_event)
+        self.controller = RunController(config.budget, self.telemetry)
         self._kernel: FastKernel | None = None
         self.ceiling = ceiling
         self.stats = stats if stats is not None else EvalStats(workers=self.workers)
@@ -265,11 +294,20 @@ class EvaluationService:
             misses.append((index, distribution, vector))
 
         if misses:
-            if self.workers > 1 and len(misses) > 1:
+            pooled = (
+                self.workers > 1
+                and len(misses) > 1
+                and self.controller.allows(len(misses))
+            )
+            if pooled:
+                # One budget charge for the whole fan-out; the
+                # controller rejected it above if it would overdraw, in
+                # which case the inline path below spends what is left
+                # one probe at a time.
+                self.controller.before_probes(len(misses))
                 prober = self._ensure_prober()
                 raw_results = prober.map([dict(d) for _, d, _ in misses])
-                self.stats.parallel_batches = prober.batches
-                self.stats.parallel_tasks = prober.tasks
+                self._sync_pool_stats(prober)
                 for (index, distribution, vector), raw in zip(misses, raw_results):
                     records[index] = self._absorb(distribution, vector, raw)
             else:
@@ -284,6 +322,7 @@ class EvaluationService:
         record = self._memo.get(vector)
         if record is not None:
             self.stats.cache_hits += 1
+            self.telemetry.emit("cache_hit", size=sum(vector))
         return record
 
     def _prune(
@@ -299,6 +338,7 @@ class EvaluationService:
             for witness_total, witness in self._ceiling_front:
                 if witness_total <= total and _dominates(vector, witness):
                     self.stats.prunes_superset += 1
+                    self.telemetry.emit("prune", kind="ceiling", size=total)
                     return self._store(
                         vector, EvaluationRecord(distribution, self.ceiling, 0, None, None)
                     )
@@ -306,6 +346,7 @@ class EvaluationService:
             for witness_total, witness in self._deadlock_front:
                 if witness_total >= total and _dominates(witness, vector):
                     self.stats.prunes_subset += 1
+                    self.telemetry.emit("prune", kind="deadlock", size=total)
                     return self._store(
                         vector, EvaluationRecord(distribution, Fraction(0), 0, None, None)
                     )
@@ -324,6 +365,10 @@ class EvaluationService:
                 " kernel produces no per-channel blocking information);"
                 " use engine='auto' or engine='reference'"
             )
+        self.controller.before_probes(1)
+        size = sum(vector)
+        self.telemetry.emit("probe_start", size=size, blocking=blocking)
+        probe_started = time.perf_counter()
         self.stats.evaluations += 1
         if not blocking and self.engine != "reference":
             if self._kernel is None:
@@ -343,6 +388,14 @@ class EvaluationService:
                 dict(result.space_deficits),
             )
         self.stats.max_states_stored = max(self.stats.max_states_stored, result.states_stored)
+        duration = time.perf_counter() - probe_started
+        self.telemetry.record_time("probe", duration)
+        self.telemetry.emit(
+            "probe_finish",
+            size=size,
+            throughput=str(record.throughput),
+            duration_s=duration,
+        )
         return self._store(vector, record)
 
     def _absorb(
@@ -406,8 +459,24 @@ class EvaluationService:
 
     def _ensure_prober(self) -> ParallelProber:
         if self._prober is None:
-            self._prober = ParallelProber(self.graph, self.observe, self.workers)
+            self._prober = ParallelProber(
+                self.graph,
+                self.observe,
+                self.workers,
+                probe_timeout=self.config.probe_timeout,
+                max_restarts=self.config.max_pool_restarts,
+                retry_backoff=self.config.retry_backoff,
+                on_event=self.telemetry.emit,
+            )
         return self._prober
+
+    def _sync_pool_stats(self, prober: ParallelProber) -> None:
+        """Mirror the prober's health counters into the run stats, so an
+        inline fallback is visible instead of silently degrading."""
+        self.stats.parallel_batches = prober.batches
+        self.stats.parallel_tasks = prober.tasks
+        self.stats.pool_restarts = prober.pool_restarts
+        self.stats.pool_fallback_reason = prober.fallback_reason
 
     @property
     def evaluations(self) -> dict[StorageDistribution, Fraction]:
@@ -420,9 +489,93 @@ class EvaluationService:
     def cache_size(self) -> int:
         return len(self._memo)
 
+    # -- checkpoint support ---------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-ready snapshot of the memo cache, ceiling and stats.
+
+        The payload feeds :mod:`repro.runtime.checkpoint`; every record
+        keeps its blocking information, so a restored service can serve
+        the dependency-guided sweep without re-executing anything.
+        """
+        memo = []
+        for vector, record in self._memo.items():
+            memo.append(
+                {
+                    "caps": list(vector),
+                    "throughput": str(record.throughput),
+                    "states": record.states_stored,
+                    "blocked": (
+                        sorted(record.space_blocked)
+                        if record.space_blocked is not None
+                        else None
+                    ),
+                    "deficits": (
+                        dict(sorted(record.space_deficits.items()))
+                        if record.space_deficits is not None
+                        else None
+                    ),
+                }
+            )
+        return {
+            "channels": list(self._order),
+            "ceiling": str(self.ceiling) if self.ceiling is not None else None,
+            "memo": memo,
+            "stats": self.stats.to_dict(),
+        }
+
+    def restore_state(self, state: Mapping) -> None:
+        """Load an :meth:`export_state` payload into this service.
+
+        The ceiling is installed first so restored records re-seed the
+        prune antichains exactly as live evaluations would; stats
+        counters resume cumulatively (a resumed run reports the total
+        cost across all its legs).
+        """
+        if not self.cache_enabled:
+            raise ExplorationError("restore_state requires the memo cache (cache=True)")
+        ceiling = state.get("ceiling")
+        if ceiling is not None:
+            self.set_ceiling(Fraction(ceiling))
+        order = self._order
+        for entry in state.get("memo", ()):
+            vector = tuple(int(cap) for cap in entry["caps"])
+            distribution = StorageDistribution(dict(zip(order, vector)))
+            blocked = entry.get("blocked")
+            deficits = entry.get("deficits")
+            record = EvaluationRecord(
+                distribution,
+                Fraction(entry["throughput"]),
+                int(entry.get("states", 0)),
+                frozenset(blocked) if blocked is not None else None,
+                {name: int(value) for name, value in deficits.items()}
+                if deficits is not None
+                else None,
+            )
+            self._store(vector, record)
+        restored = state.get("stats")
+        if restored:
+            previous = EvalStats.from_dict(restored)
+            for name in (
+                "evaluations",
+                "cache_hits",
+                "sizes_probed",
+                "threshold_scans",
+                "prunes_superset",
+                "prunes_subset",
+                "parallel_batches",
+                "parallel_tasks",
+                "fast_runs",
+                "pool_restarts",
+            ):
+                setattr(self.stats, name, getattr(self.stats, name) + getattr(previous, name))
+            self.stats.max_states_stored = max(
+                self.stats.max_states_stored, previous.max_states_stored
+            )
+
     def close(self) -> None:
         """Release the worker pool, if one was created (idempotent)."""
         if self._prober is not None:
+            self._sync_pool_stats(self._prober)
             self._prober.close()
             self._prober = None
 

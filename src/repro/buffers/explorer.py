@@ -13,12 +13,20 @@ three strategies:
 All strategies return the same Pareto front (a property-tested
 invariant); they differ only in how much of the design space they must
 evaluate.
+
+Long runs are governed by the run controller of :mod:`repro.runtime`:
+an :class:`~repro.runtime.config.ExplorationConfig` carries budgets,
+checkpointing and telemetry, a tripped budget yields a *partial*
+:class:`DesignSpaceResult` (``complete=False``) with a resume token,
+and ``resume=`` continues a previous run by deterministic replay over
+its exact memo cache — provably reaching the identical front an
+uninterrupted run would have produced.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from fractions import Fraction
 from collections.abc import Mapping
 
@@ -31,8 +39,16 @@ from repro.buffers.evalcache import EvaluationService
 from repro.buffers.pareto import ParetoFront, ParetoPoint
 from repro.buffers.quantize import thin_front
 from repro.buffers.search import SizeProbe, divide_and_conquer, exhaustive_sweep
-from repro.exceptions import ExplorationError
+from repro.exceptions import BudgetExhausted, ExplorationError
 from repro.graph.graph import SDFGraph
+from repro.runtime.checkpoint import (
+    ResumeToken,
+    build_token,
+    coerce_resume,
+    restore_service,
+    save_checkpoint,
+)
+from repro.runtime.config import UNSET, ExplorationConfig, coerce_config
 
 _STRATEGIES = ("dependency", "divide", "exhaustive")
 
@@ -51,6 +67,18 @@ class ExplorationStats:
     prunes: int = 0
     workers: int = 1
     parallel_batches: int = 0
+    pool_restarts: int = 0
+    pool_fallback_reason: str | None = None
+
+    def to_dict(self) -> dict:
+        """All counters as a JSON-ready dict."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExplorationStats":
+        """Inverse of :meth:`to_dict` (unknown keys ignored)."""
+        known = {field.name for field in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 @dataclass(frozen=True)
@@ -61,6 +89,14 @@ class DesignSpaceResult:
     distributions); ``lower_bounds`` / ``upper_bounds`` the Fig. 7 box
     that delimited the search; ``max_throughput`` the maximal
     achievable throughput of the graph.
+
+    ``complete`` is ``False`` when a budget or cancellation interrupted
+    the run; ``exhausted`` then names the tripped limit
+    (``"deadline"``, ``"probes"`` or ``"cancelled"``), ``front`` is the
+    exact Pareto front *of everything evaluated so far* (every point is
+    a true evaluation; none dominates another), and ``resume_token``
+    continues the run — pass it (or a checkpoint file written from it)
+    as ``resume=`` to :func:`explore_design_space`.
     """
 
     graph_name: str
@@ -70,6 +106,48 @@ class DesignSpaceResult:
     lower_bounds: StorageDistribution
     upper_bounds: StorageDistribution
     max_throughput: Fraction
+    complete: bool = True
+    exhausted: str | None = None
+    resume_token: ResumeToken | None = None
+    telemetry: Mapping | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering — the one schema shared with
+        ``io/frontjson``, checkpoints and the CLI's ``--output-json``.
+
+        The resume token and telemetry snapshot are *not* embedded
+        (checkpoints have their own file; telemetry its own flag).
+        """
+        return {
+            "graph": self.graph_name,
+            "observe": self.observe,
+            "complete": self.complete,
+            "exhausted": self.exhausted,
+            "max_throughput": str(self.max_throughput),
+            "lower_bounds": dict(self.lower_bounds),
+            "upper_bounds": dict(self.upper_bounds),
+            "pareto_front": self.front.to_dicts(),
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DesignSpaceResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            graph_name=data["graph"],
+            observe=data["observe"],
+            front=ParetoFront.from_dicts(data["pareto_front"]),
+            stats=ExplorationStats.from_dict(data["stats"]),
+            lower_bounds=StorageDistribution(
+                {name: int(cap) for name, cap in data["lower_bounds"].items()}
+            ),
+            upper_bounds=StorageDistribution(
+                {name: int(cap) for name, cap in data["upper_bounds"].items()}
+            ),
+            max_throughput=Fraction(data["max_throughput"]),
+            complete=bool(data.get("complete", True)),
+            exhausted=data.get("exhausted"),
+        )
 
     def summary(self) -> str:
         """Short human-readable report."""
@@ -91,6 +169,15 @@ class DesignSpaceResult:
             f" {self.stats.workers} worker(s),"
             f" {self.stats.parallel_batches} parallel batches"
         )
+        if not self.complete:
+            lines.append(
+                f"  INCOMPLETE: budget exhausted ({self.exhausted});"
+                " resume from the checkpoint / resume token to continue"
+            )
+        if self.stats.pool_fallback_reason:
+            lines.append(
+                f"  worker pool degraded to inline: {self.stats.pool_fallback_reason}"
+            )
         return "\n".join(lines)
 
 
@@ -105,10 +192,12 @@ def explore_design_space(
     token_sizes: Mapping[str, int] | None = None,
     count_search_space: bool = False,
     collect_all_witnesses: bool = False,
-    workers: int = 1,
-    cache: bool = True,
-    engine: str = "auto",
-    evaluator: EvaluationService | None = None,
+    config: ExplorationConfig | None = None,
+    resume: "ResumeToken | Mapping | str | None" = None,
+    workers: object = UNSET,
+    cache: object = UNSET,
+    engine: object = UNSET,
+    evaluator: object = UNSET,
 ) -> DesignSpaceResult:
     """Chart the full storage/throughput Pareto space of *graph*.
 
@@ -148,30 +237,32 @@ def explore_design_space(
         size to completion so that Pareto points list *every* tied
         minimal distribution (the paper's Fig. 6 non-uniqueness); by
         default scans stop as soon as the maximal throughput is found.
-    workers:
-        Process-pool size for fanning out independent throughput
-        probes; ``1`` (the default) keeps everything in-process on the
-        exact serial path.  Any value returns the identical front.
-    cache:
-        Keep the exact memo/pruning cache of the shared
-        :class:`~repro.buffers.evalcache.EvaluationService` enabled.
-        Disabling it is primarily a differential-testing baseline.
-    engine:
-        Simulation kernel for plain throughput probes — ``"auto"``
-        (default), ``"fast"`` or ``"reference"``; forwarded to the
-        internally created :class:`~repro.buffers.evalcache
-        .EvaluationService` (ignored when *evaluator* is given).  The
-        ``"dependency"`` strategy additionally needs blocking-aware
-        probes, which always run on the reference executor; forcing
-        ``engine="fast"`` there raises
-        :class:`~repro.exceptions.EngineError`.
-    evaluator:
-        Bring-your-own :class:`~repro.buffers.evalcache
-        .EvaluationService` (e.g. to share a warm cache across several
-        explorations of the same graph).  When given, *workers* /
-        *cache* are ignored and the caller owns the service lifecycle.
+    config:
+        The run's :class:`~repro.runtime.config.ExplorationConfig` —
+        engine, workers, cache, a shared evaluator, budgets, a
+        checkpoint path and the telemetry callback.  A tripped budget
+        returns a partial result (``complete=False`` + resume token)
+        instead of raising; with ``config.checkpoint`` set, the
+        checkpoint JSON is (re)written at the end of every run.
+    resume:
+        A :class:`~repro.runtime.checkpoint.ResumeToken`, checkpoint
+        payload mapping or checkpoint file path from a previous run of
+        the *same graph*.  The banked memo cache is restored and the
+        strategy replayed over it deterministically, which provably
+        yields the identical front an uninterrupted run produces.
+    workers / cache / engine / evaluator:
+        Deprecated aliases for the config fields of the same name;
+        they build a config under a :class:`DeprecationWarning`.
     """
     assert_consistent(graph)
+    config = coerce_config(
+        config,
+        caller="explore_design_space",
+        workers=workers,
+        cache=cache,
+        engine=engine,
+        evaluator=evaluator,
+    )
     if strategy not in _STRATEGIES:
         raise ExplorationError(f"unknown strategy {strategy!r}; pick one of {_STRATEGIES}")
     if token_sizes is not None and strategy != "dependency":
@@ -185,12 +276,26 @@ def explore_design_space(
     upper = upper_bound_distribution(graph)
     started = time.perf_counter()
 
-    owns_service = evaluator is None
+    owns_service = config.evaluator is None
     service = (
-        evaluator
-        if evaluator is not None
-        else EvaluationService(graph, observe, workers=workers, cache=cache, engine=engine)
+        config.evaluator
+        if config.evaluator is not None
+        else EvaluationService(graph, observe, config=config.replaced(evaluator=None))
     )
+    service.telemetry.emit(
+        "run_start", graph=graph.name, observe=observe, strategy=strategy
+    )
+    if resume is not None:
+        restore_service(coerce_resume(resume), service)
+
+    complete = True
+    exhausted: str | None = None
+    max_thr: Fraction | None = None
+    front: ParetoFront | None = None
+    sizes_probed = 0
+    pending: tuple[StorageDistribution, ...] = ()
+    low_bound: Fraction | None = None
+    high_bound: Fraction | None = None
     try:
         # Sec. 9 takes the throughput at the [GGD02] upper bound as the
         # maximal achievable throughput of the graph.  That bound can
@@ -200,87 +305,140 @@ def explore_design_space(
         # distribution.
         from repro.analysis.throughput import max_throughput as _max_throughput
 
-        max_thr = _max_throughput(graph, observe, evaluator=service)
-        service.set_ceiling(max_thr)
-        low_bound, high_bound = (
-            throughput_bounds if throughput_bounds is not None else (None, None)
-        )
-        if low_bound is not None and high_bound is not None and low_bound > high_bound:
-            raise ExplorationError("throughput_bounds: low exceeds high")
-        stop_thr = max_thr if high_bound is None else min(max_thr, high_bound)
-        while service(upper) < stop_thr:
-            upper = upper.scaled(2)
-
-        size_cap = max_size if max_size is not None else upper.weighted_size(token_sizes)
-
-        if strategy == "dependency":
-            sweep = dependency_sweep(
-                graph,
-                observe,
-                stop_throughput=stop_thr,
-                max_size=size_cap,
-                token_sizes=token_sizes,
-                evaluator=service,
+        try:
+            max_thr = _max_throughput(graph, observe, evaluator=service)
+            service.set_ceiling(max_thr)
+            low_bound, high_bound = (
+                throughput_bounds if throughput_bounds is not None else (None, None)
             )
-            front = ParetoFront.from_evaluations(sweep.evaluations, token_sizes)
-            sizes_probed = len({d.size for d in sweep.evaluations})
-        else:
-            bounded_upper = _cap_box(lower, upper, size_cap)
-            if strategy == "exhaustive":
-                probes, _ = exhaustive_sweep(
+            if low_bound is not None and high_bound is not None and low_bound > high_bound:
+                raise ExplorationError("throughput_bounds: low exceeds high")
+            stop_thr = max_thr if high_bound is None else min(max_thr, high_bound)
+            while service(upper) < stop_thr:
+                upper = upper.scaled(2)
+
+            size_cap = max_size if max_size is not None else upper.weighted_size(token_sizes)
+
+            if strategy == "dependency":
+                sweep = dependency_sweep(
                     graph,
                     observe,
-                    lower,
-                    bounded_upper,
-                    stop_thr,
-                    service,
-                    stop_early=not collect_all_witnesses,
+                    stop_throughput=stop_thr,
+                    max_size=size_cap,
+                    token_sizes=token_sizes,
+                    config=ExplorationConfig(evaluator=service),
                 )
+                front = ParetoFront.from_evaluations(sweep.evaluations, token_sizes)
+                sizes_probed = len({d.size for d in sweep.evaluations})
+                if not sweep.complete:
+                    complete = False
+                    exhausted = sweep.exhausted
+                    pending = sweep.pending
             else:
-                probes, _ = divide_and_conquer(
-                    graph, observe, lower, bounded_upper, stop_thr, service, quantum=quantum
+                bounded_upper = _cap_box(lower, upper, size_cap)
+                if strategy == "exhaustive":
+                    probes, _ = exhaustive_sweep(
+                        graph,
+                        observe,
+                        lower,
+                        bounded_upper,
+                        stop_thr,
+                        service,
+                        stop_early=not collect_all_witnesses,
+                    )
+                else:
+                    probes, _ = divide_and_conquer(
+                        graph, observe, lower, bounded_upper, stop_thr, service, quantum=quantum
+                    )
+                front = _front_from_probes(probes)
+                sizes_probed = service.stats.sizes_probed
+        except BudgetExhausted as stop:
+            # The budget tripped outside the dependency sweep (setup
+            # probes, or the divide/exhaustive strategies, which share
+            # probe bookkeeping only through the service).  Everything
+            # executed so far sits in the exact memo cache — its Pareto
+            # front is the partial answer.
+            complete = False
+            exhausted = stop.reason
+            front = ParetoFront.from_evaluations(service.evaluations, token_sizes)
+            sizes_probed = len({d.size for d in service.evaluations})
+        if max_thr is None:
+            max_thr = max(service.evaluations.values(), default=Fraction(0))
+
+        if front is None:  # pragma: no cover - defensive; both branches set it
+            front = ParetoFront.from_evaluations(service.evaluations, token_sizes)
+        if max_size is not None:
+            front = _restrict_front(front, max_size)
+        if throughput_bounds is not None:
+            front = _window_front(front, low_bound, high_bound)
+        if quantum is not None:
+            front = thin_front(front, quantum)
+
+        resume_token: ResumeToken | None = None
+        if not complete or config.checkpoint is not None:
+            resume_token = build_token(
+                service,
+                graph_name=graph.name,
+                observe=observe,
+                strategy=strategy,
+                complete=complete,
+                exhausted=exhausted,
+                front=front,
+                pending=pending,
+            )
+            if config.checkpoint is not None:
+                path = save_checkpoint(resume_token, config.checkpoint)
+                service.telemetry.emit(
+                    "checkpoint_saved",
+                    path=str(path),
+                    complete=complete,
+                    probes_banked=resume_token.probes_recorded,
                 )
-            front = _front_from_probes(probes)
-            sizes_probed = service.stats.sizes_probed
+
+        search_space = None
+        if count_search_space:
+            search_space = sum(
+                count_distributions_of_size(graph.channel_names, size, lower, upper)
+                for size in range(lower.size, upper.size + 1)
+            )
+
+        service.telemetry.emit(
+            "run_finish",
+            complete=complete,
+            exhausted=exhausted,
+            pareto_points=len(front),
+            evaluations=service.stats.evaluations,
+        )
+        stats = ExplorationStats(
+            strategy=strategy,
+            evaluations=service.stats.evaluations,
+            max_states_stored=service.stats.max_states_stored,
+            wall_time_s=time.perf_counter() - started,
+            sizes_probed=sizes_probed,
+            search_space=search_space,
+            cache_hits=service.stats.cache_hits,
+            prunes=service.stats.prunes,
+            workers=service.workers,
+            parallel_batches=service.stats.parallel_batches,
+            pool_restarts=service.stats.pool_restarts,
+            pool_fallback_reason=service.stats.pool_fallback_reason,
+        )
+        return DesignSpaceResult(
+            graph_name=graph.name,
+            observe=observe,
+            front=front,
+            stats=stats,
+            lower_bounds=lower,
+            upper_bounds=upper,
+            max_throughput=max_thr,
+            complete=complete,
+            exhausted=exhausted,
+            resume_token=resume_token if not complete else None,
+            telemetry=service.telemetry.snapshot(),
+        )
     finally:
         if owns_service:
             service.close()
-
-    if max_size is not None:
-        front = _restrict_front(front, max_size)
-    if throughput_bounds is not None:
-        front = _window_front(front, low_bound, high_bound)
-    if quantum is not None:
-        front = thin_front(front, quantum)
-
-    search_space = None
-    if count_search_space:
-        search_space = sum(
-            count_distributions_of_size(graph.channel_names, size, lower, upper)
-            for size in range(lower.size, upper.size + 1)
-        )
-
-    stats = ExplorationStats(
-        strategy=strategy,
-        evaluations=service.stats.evaluations,
-        max_states_stored=service.stats.max_states_stored,
-        wall_time_s=time.perf_counter() - started,
-        sizes_probed=sizes_probed,
-        search_space=search_space,
-        cache_hits=service.stats.cache_hits,
-        prunes=service.stats.prunes,
-        workers=service.workers,
-        parallel_batches=service.stats.parallel_batches,
-    )
-    return DesignSpaceResult(
-        graph_name=graph.name,
-        observe=observe,
-        front=front,
-        stats=stats,
-        lower_bounds=lower,
-        upper_bounds=upper,
-        max_throughput=max_thr,
-    )
 
 
 def minimal_distribution_for_throughput(
@@ -289,20 +447,26 @@ def minimal_distribution_for_throughput(
     observe: str | None = None,
     token_sizes: Mapping[str, int] | None = None,
     *,
-    engine: str = "auto",
+    config: ExplorationConfig | None = None,
+    engine: object = UNSET,
 ) -> ParetoPoint | None:
     """Smallest storage distribution meeting a throughput constraint.
 
     This is the headline query of the paper: the exact minimal storage
     space needed to execute the graph at a required throughput.
     Returns ``None`` when the constraint exceeds the graph's maximal
-    throughput.
+    throughput.  Run control (engine, workers, budgets, telemetry)
+    comes from *config*; the legacy ``engine=`` keyword is a
+    deprecated alias.
     """
     assert_consistent(graph)
+    config = coerce_config(
+        config, caller="minimal_distribution_for_throughput", engine=engine
+    )
     if constraint <= 0:
         raise ExplorationError("the throughput constraint must be positive")
     found = find_minimal_distribution(
-        graph, constraint, observe, token_sizes=token_sizes, engine=engine
+        graph, constraint, observe, token_sizes=token_sizes, config=config
     )
     if found is None:
         return None

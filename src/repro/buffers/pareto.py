@@ -105,6 +105,39 @@ class ParetoFront:
             front._points.append(point)
         return front
 
+    def to_dicts(self) -> list[dict]:
+        """JSON-ready point list — the one front schema shared by
+        checkpoints, ``io/frontjson`` exports and the CLI.
+
+        Throughputs are exact ``"p/q"`` strings (a ``float`` rendering
+        rides along for convenience); witnesses are plain
+        ``{channel: capacity}`` dicts.
+        """
+        return [
+            {
+                "size": point.size,
+                "throughput": str(point.throughput),
+                "throughput_float": float(point.throughput),
+                "witnesses": [dict(witness) for witness in point.witnesses],
+            }
+            for point in self._points
+        ]
+
+    @classmethod
+    def from_dicts(cls, items: Iterable[Mapping]) -> "ParetoFront":
+        """Inverse of :meth:`to_dicts` (validates the front invariant)."""
+        return cls.from_points(
+            ParetoPoint(
+                int(entry["size"]),
+                Fraction(entry["throughput"]),
+                tuple(
+                    StorageDistribution({name: int(cap) for name, cap in witness.items()})
+                    for witness in entry.get("witnesses", ())
+                ),
+            )
+            for entry in items
+        )
+
     def filtered(self, predicate: Callable[[ParetoPoint], bool]) -> "ParetoFront":
         """A new front keeping the points satisfying *predicate*.
 

@@ -26,7 +26,7 @@ witness selection) are bit-identical to the serial scan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from fractions import Fraction
 from itertools import islice
 from collections.abc import Iterator, Mapping
@@ -47,6 +47,17 @@ class SearchStats:
     sizes_probed: int = 0
     threshold_scans: int = 0
     cache_hits: int = 0
+
+    def to_dict(self) -> dict:
+        """All counters as a JSON-ready dict (subclass fields included)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SearchStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so newer
+        checkpoints load into older stats layouts."""
+        known = {field.name for field in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 @dataclass

@@ -36,6 +36,7 @@ from repro.exceptions import ReproError
 from repro.gallery.registry import gallery_graph, gallery_names
 from repro.graph.graph import SDFGraph
 from repro.io.dot import to_dot
+from repro.runtime import Budget, ExplorationConfig
 from repro.io.jsonio import read_json, write_json
 from repro.io.sdfxml import read_xml, write_xml
 from repro.reporting.plots import ascii_pareto
@@ -136,6 +137,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation kernel for throughput probes: the fast event-calendar"
         " kernel, the instrumented reference executor, or automatic selection"
         " (default: auto)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for the exploration; on expiry the partial"
+        " Pareto front found so far is reported (exit code 3) and a resume"
+        " checkpoint can be written with --checkpoint",
+    )
+    parser.add_argument(
+        "--max-probes",
+        type=int,
+        metavar="N",
+        help="stop the exploration after N throughput probes (cache hits and"
+        " prunes are free); exit code 3 flags the partial result",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write a resume checkpoint (memo cache + frontier) to FILE at the"
+        " end of the run, complete or not",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        help="restore the memo cache from a previous run's checkpoint before"
+        " exploring; the run continues where the budget cut it off",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        help="write the run's telemetry snapshot (event counters + timers) as JSON",
+    )
+    parser.add_argument(
+        "--probe-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-probe watchdog for worker processes; a probe exceeding it"
+        " triggers a pool restart / inline retry",
     )
     parser.add_argument("--table", action="store_true", help="print a Table-2 style summary row")
     parser.add_argument("--bounds", action="store_true", help="print the storage bound box")
@@ -280,10 +320,28 @@ def _evaluate_distribution(graph: SDFGraph, arguments: argparse.Namespace, out) 
     return 0
 
 
+def _runtime_config(arguments: argparse.Namespace) -> "ExplorationConfig":
+    """Fold the runtime-related CLI flags into one ExplorationConfig."""
+    budget = None
+    if arguments.deadline is not None or arguments.max_probes is not None:
+        budget = Budget(deadline_s=arguments.deadline, max_probes=arguments.max_probes)
+    return ExplorationConfig(
+        engine=arguments.engine,
+        workers=arguments.workers,
+        cache=not arguments.no_cache,
+        budget=budget,
+        checkpoint=arguments.checkpoint,
+        probe_timeout=arguments.probe_timeout,
+    )
+
+
 def _minimal_for_constraint(graph: SDFGraph, arguments: argparse.Namespace, out) -> int:
     constraint = parse_fraction(arguments.throughput)
     point = minimal_distribution_for_throughput(
-        graph, constraint, arguments.observe, engine=arguments.engine
+        graph,
+        constraint,
+        arguments.observe,
+        config=ExplorationConfig(engine=arguments.engine),
     )
     if point is None:
         print(f"throughput {constraint} is not achievable for {graph.name!r}", file=out)
@@ -308,11 +366,19 @@ def _explore(graph: SDFGraph, arguments: argparse.Namespace, out) -> int:
         quantum=quantum,
         max_size=arguments.max_size,
         throughput_bounds=bounds,
-        workers=arguments.workers,
-        cache=not arguments.no_cache,
-        engine=arguments.engine,
+        config=_runtime_config(arguments),
+        resume=arguments.resume,
     )
     print(result.summary(), file=out)
+    if arguments.checkpoint:
+        print(f"resume checkpoint written to {arguments.checkpoint}", file=out)
+    if arguments.stats_json:
+        import json
+
+        Path(arguments.stats_json).write_text(
+            json.dumps(result.telemetry or {}, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"telemetry snapshot written to {arguments.stats_json}", file=out)
     if arguments.output_json:
         from repro.io.frontjson import write_result_json
 
@@ -334,7 +400,7 @@ def _explore(graph: SDFGraph, arguments: argparse.Namespace, out) -> int:
                 f" (saves {report.saving})",
                 file=out,
             )
-    return 0
+    return 0 if result.complete else 3
 
 
 def _run_csdf(arguments: argparse.Namespace, out) -> int:

@@ -15,9 +15,13 @@ ProcessPoolExecutor` around this pattern:
   capacity vector;
 * ``workers=1`` (the default everywhere) never creates a pool and runs
   every task inline, byte-for-byte the serial path;
-* a pool that cannot be created or that breaks mid-run (forbidden
-  ``fork``, resource limits, a killed worker) degrades to the inline
-  path instead of failing the exploration.
+* the pool is **fault tolerant**: a worker killed mid-batch (OOM
+  killer, container limits) or a probe exceeding ``probe_timeout``
+  triggers a bounded number of pool restarts with exponential backoff;
+  the failed batch is re-run in full — evaluations are pure, so the
+  retry is exact.  Only when the restart budget is spent does the
+  prober degrade to the inline path, and then it records *why* in
+  :attr:`fallback_reason` instead of silently eating the failure.
 
 Results are returned in task order, so callers observe the same
 deterministic sequence as a serial scan.  The module-level worker
@@ -27,7 +31,8 @@ platforms.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import time
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from fractions import Fraction
@@ -79,57 +84,152 @@ class ParallelProber:
         Fixed for the prober's lifetime; shipped to workers once.
     workers:
         Pool size.  ``1`` (or less) never spawns processes.
+    probe_timeout:
+        Optional per-probe wall-clock limit in seconds.  A probe
+        exceeding it is treated as a pool failure (the pool is torn
+        down — a hung worker cannot be cancelled — and the batch
+        retried on a fresh pool or inline).
+    max_restarts:
+        How many times a broken or timed-out pool is rebuilt before
+        degrading to inline evaluation permanently.
+    retry_backoff:
+        Base sleep in seconds before a restart; doubles per
+        consecutive restart of one batch.
+    on_event:
+        Optional callback ``(name, **data)`` — typically
+        :meth:`repro.runtime.telemetry.TelemetryHub.emit` — notified on
+        ``pool_restart`` and ``pool_fallback``.
     """
 
-    def __init__(self, graph: SDFGraph, observe: str | None, workers: int = 1):
+    def __init__(
+        self,
+        graph: SDFGraph,
+        observe: str | None,
+        workers: int = 1,
+        *,
+        probe_timeout: float | None = None,
+        max_restarts: int = 1,
+        retry_backoff: float = 0.05,
+        on_event: Callable[..., None] | None = None,
+    ):
         self.graph = graph
         self.observe = observe
         self.workers = max(1, int(workers))
+        self.probe_timeout = probe_timeout
+        self.max_restarts = max(0, int(max_restarts))
+        self.retry_backoff = retry_backoff
+        self._on_event = on_event
         self._pool: ProcessPoolExecutor | None = None
         self._pool_failed = False
+        self._closed = False
         self.batches = 0
         self.tasks = 0
+        #: Pool rebuilds performed so far (across all batches).
+        self.pool_restarts = 0
+        #: Why the prober fell back to inline evaluation (``None`` while
+        #: the pool is healthy); surfaced in
+        #: :class:`~repro.buffers.evalcache.EvalStats`.
+        self.fallback_reason: str | None = None
 
     @property
     def parallel(self) -> bool:
         """Whether tasks may actually fan out to worker processes."""
-        return self.workers > 1 and not self._pool_failed
+        return self.workers > 1 and not self._pool_failed and not self._closed
+
+    def _emit(self, name: str, **data) -> None:
+        if self._on_event is not None:
+            self._on_event(name, **data)
 
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
-        if self._pool is None and not self._pool_failed:
+        if self._pool is None and not self._pool_failed and not self._closed:
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
                     initargs=(self.graph, self.observe),
                 )
-            except (OSError, ValueError):
-                self._pool_failed = True
+            except (OSError, ValueError) as error:
+                self._fail(f"pool unavailable: {type(error).__name__}: {error}")
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Tear the current pool down without waiting on its workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _fail(self, reason: str) -> None:
+        self._pool_failed = True
+        self._discard_pool()
+        if self.fallback_reason is None:
+            self.fallback_reason = reason
+            self._emit("pool_fallback", reason=reason)
+
+    def _map_on_pool(
+        self, pool: ProcessPoolExecutor, items: Sequence[tuple]
+    ) -> list[RawEvaluation]:
+        if self.probe_timeout is None:
+            chunksize = max(1, len(items) // (self.workers * 4))
+            return list(pool.map(_run_task, items, chunksize=chunksize))
+        # With a per-probe watchdog, submit individually so each future
+        # carries its own deadline; order is preserved by construction.
+        futures = [pool.submit(_run_task, item) for item in items]
+        try:
+            return [future.result(timeout=self.probe_timeout) for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
+
     def map(self, capacities: Sequence[dict[str, int]]) -> list[RawEvaluation]:
-        """Evaluate every distribution; results in input order."""
+        """Evaluate every distribution; results in input order.
+
+        Pure evaluations make the retry loop exact: a batch that failed
+        on a dying pool is simply re-run in full, and the caller sees
+        results indistinguishable from a first-try success.
+        """
         items = [tuple(sorted(c.items())) for c in capacities]
         if not items:
             return []
-        if self.workers > 1 and len(items) > 1:
+        restarts_this_batch = 0
+        while self.workers > 1 and len(items) > 1 and not self._pool_failed:
             pool = self._ensure_pool()
-            if pool is not None:
-                chunksize = max(1, len(items) // (self.workers * 4))
-                try:
-                    results = list(pool.map(_run_task, items, chunksize=chunksize))
-                    self.batches += 1
-                    self.tasks += len(items)
-                    return results
-                except BrokenProcessPool:
-                    # A worker died (OOM killer, container limits);
-                    # finish the batch inline and stay serial from now on.
-                    self._pool_failed = True
-                    self._pool = None
+            if pool is None:
+                break
+            try:
+                results = self._map_on_pool(pool, items)
+                self.batches += 1
+                self.tasks += len(items)
+                return results
+            except (BrokenProcessPool, TimeoutError) as failure:
+                kind = (
+                    "probe timeout"
+                    if isinstance(failure, TimeoutError)
+                    else "worker died"
+                )
+                self._discard_pool()
+                if restarts_this_batch < self.max_restarts:
+                    delay = self.retry_backoff * (2**restarts_this_batch)
+                    restarts_this_batch += 1
+                    self.pool_restarts += 1
+                    self._emit(
+                        "pool_restart",
+                        reason=kind,
+                        attempt=restarts_this_batch,
+                        backoff_s=delay,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self._fail(
+                    f"{kind}; gave up after {restarts_this_batch} pool restart(s)"
+                )
         return [evaluate_raw(self.graph, dict(item), self.observe) for item in items]
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent, safe after failures)."""
+        if self._closed:
+            return
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None

@@ -62,6 +62,33 @@ class ExplorationError(ReproError):
     """The design-space exploration was given unusable parameters."""
 
 
+class BudgetExhausted(ReproError):
+    """A run-controller budget tripped during an exploration.
+
+    Raised cooperatively by the evaluation layer when a wall-clock
+    deadline passes, a probe budget is spent or a cancel token fires.
+    :func:`repro.buffers.explorer.explore_design_space` catches it and
+    returns a partial result flagged ``complete=False``; it only
+    escapes to callers driving an
+    :class:`~repro.buffers.evalcache.EvaluationService` directly.
+    Carries the :attr:`reason` (``"deadline"``, ``"probes"`` or
+    ``"cancelled"``).
+    """
+
+    def __init__(self, message: str, reason: str = "budget"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class CheckpointError(ReproError):
+    """A checkpoint / resume token is malformed or does not match.
+
+    Raised when loading a checkpoint written for a different graph,
+    channel set or format version, or when the payload is not valid
+    checkpoint JSON.
+    """
+
+
 class ParseError(ReproError):
     """An input file (XML / JSON graph description) could not be parsed."""
 

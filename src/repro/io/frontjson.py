@@ -6,6 +6,13 @@ Pareto front; this module serialises a
 to a stable JSON document.  Throughputs are exact fractions rendered
 as ``"p/q"`` strings to avoid floating-point loss; a ``float``
 rendering is included for convenience.
+
+The schema is owned by the model classes —
+:meth:`~repro.buffers.pareto.ParetoFront.to_dicts` and
+:meth:`~repro.buffers.explorer.DesignSpaceResult.to_dict` — so
+checkpoints, the CLI and this module cannot drift apart; the functions
+here are thin file-level conveniences kept for compatibility, plus the
+inverse readers.
 """
 
 from __future__ import annotations
@@ -20,37 +27,22 @@ from repro.buffers.pareto import ParetoFront
 
 def front_to_dict(front: ParetoFront) -> list[dict]:
     """Serialise the Pareto points with all witnesses."""
-    return [
-        {
-            "size": point.size,
-            "throughput": str(point.throughput),
-            "throughput_float": float(point.throughput),
-            "witnesses": [dict(witness) for witness in point.witnesses],
-        }
-        for point in front
-    ]
+    return front.to_dicts()
+
+
+def front_from_dict(items: list[dict]) -> ParetoFront:
+    """Inverse of :func:`front_to_dict` (validates the front invariant)."""
+    return ParetoFront.from_dicts(items)
 
 
 def result_to_dict(result: DesignSpaceResult) -> dict:
     """Serialise a full exploration result."""
-    return {
-        "graph": result.graph_name,
-        "observe": result.observe,
-        "max_throughput": str(result.max_throughput),
-        "lower_bounds": dict(result.lower_bounds),
-        "upper_bounds": dict(result.upper_bounds),
-        "pareto_front": front_to_dict(result.front),
-        "stats": {
-            "strategy": result.stats.strategy,
-            "evaluations": result.stats.evaluations,
-            "max_states_stored": result.stats.max_states_stored,
-            "wall_time_s": result.stats.wall_time_s,
-            "cache_hits": result.stats.cache_hits,
-            "prunes": result.stats.prunes,
-            "workers": result.stats.workers,
-            "parallel_batches": result.stats.parallel_batches,
-        },
-    }
+    return result.to_dict()
+
+
+def result_from_dict(data: dict) -> DesignSpaceResult:
+    """Inverse of :func:`result_to_dict`."""
+    return DesignSpaceResult.from_dict(data)
 
 
 def write_result_json(result: DesignSpaceResult, path: str | Path) -> None:
@@ -58,6 +50,11 @@ def write_result_json(result: DesignSpaceResult, path: str | Path) -> None:
     Path(path).write_text(
         json.dumps(result_to_dict(result), indent=2) + "\n", encoding="utf-8"
     )
+
+
+def read_result_json(path: str | Path) -> DesignSpaceResult:
+    """Load a :func:`write_result_json` document back into a result."""
+    return result_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
 
 def parse_throughput(value: str) -> Fraction:

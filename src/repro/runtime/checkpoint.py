@@ -1,0 +1,206 @@
+"""Checkpoint / resume for interrupted explorations.
+
+A checkpoint captures everything an exploration has *paid for*: the
+exact memo cache of the evaluation service (every state-space execution
+performed so far, including per-channel blocking records), the current
+partial Pareto frontier, and — for the dependency-guided strategy — the
+pending frontier of distributions still queued for evaluation.  The
+whole payload is plain JSON, so checkpoints survive process restarts,
+machine migrations and version-controlled storage.
+
+Resuming is **deterministic replay over the restored cache**: the
+strategy runs again from the top, every previously executed probe is
+answered by the memo for free, and execution proceeds past the
+interruption point.  Because the cache is exact and every strategy is
+deterministic, a resumed run provably produces the *identical* Pareto
+front (witnesses included) as an uninterrupted one — the property
+pinned by ``tests/runtime/test_checkpoint.py``.  The ``pending`` /
+``frontier`` sections are carried for observability (dashboards, ETA
+estimation), not re-ingested on resume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, TYPE_CHECKING
+from collections.abc import Iterable, Mapping
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.pareto import ParetoFront
+from repro.exceptions import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.buffers.evalcache import EvaluationService
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResumeToken:
+    """An in-memory checkpoint: the ``resume=`` argument of
+    :func:`~repro.buffers.explorer.explore_design_space`.
+
+    Obtained from a partial :class:`~repro.buffers.explorer
+    .DesignSpaceResult` (``result.resume_token``) or by loading a
+    checkpoint file (:func:`load_checkpoint`).
+    """
+
+    payload: Mapping[str, Any]
+
+    @property
+    def graph_name(self) -> str:
+        return self.payload["graph"]
+
+    @property
+    def strategy(self) -> str:
+        return self.payload["strategy"]
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.payload.get("complete", False))
+
+    @property
+    def exhausted(self) -> str | None:
+        return self.payload.get("exhausted")
+
+    @property
+    def probes_recorded(self) -> int:
+        """Executions banked in the memo (replayed for free on resume)."""
+        return len(self.payload.get("memo", ()))
+
+    @property
+    def frontier(self) -> ParetoFront:
+        """The partial Pareto front at checkpoint time."""
+        return ParetoFront.from_dicts(self.payload.get("frontier", ()))
+
+    @property
+    def pending(self) -> tuple[StorageDistribution, ...]:
+        """Distributions still queued when the run was interrupted."""
+        return tuple(
+            StorageDistribution({name: int(cap) for name, cap in entry.items()})
+            for entry in self.payload.get("pending", ())
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the checkpoint as JSON; returns the path written."""
+        return save_checkpoint(self, path)
+
+    def __repr__(self) -> str:
+        state = "complete" if self.complete else f"partial ({self.exhausted})"
+        return (
+            f"ResumeToken(graph={self.graph_name!r}, strategy={self.strategy!r},"
+            f" {state}, {self.probes_recorded} probe(s) banked)"
+        )
+
+
+def build_token(
+    service: "EvaluationService",
+    *,
+    graph_name: str,
+    observe: str,
+    strategy: str,
+    complete: bool,
+    exhausted: str | None,
+    front: ParetoFront,
+    pending: Iterable[StorageDistribution] = (),
+) -> ResumeToken:
+    """Snapshot *service* plus run metadata into a resume token."""
+    payload: dict[str, Any] = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "graph": graph_name,
+        "observe": observe,
+        "strategy": strategy,
+        "complete": complete,
+        "exhausted": exhausted,
+        "frontier": front.to_dicts(),
+        "pending": [dict(distribution) for distribution in pending],
+    }
+    payload.update(service.export_state())
+    return ResumeToken(payload)
+
+
+def save_checkpoint(token: "ResumeToken | object", path: str | Path) -> Path:
+    """Write *token* (or a result carrying one) to *path* as JSON."""
+    resolved = _coerce_token(token)
+    target = Path(path)
+    target.write_text(
+        json.dumps(resolved.payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def load_checkpoint(path: str | Path) -> ResumeToken:
+    """Read a checkpoint file back into a :class:`ResumeToken`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"{path}: not valid checkpoint JSON ({error})") from None
+    return _validate_payload(payload, source=str(path))
+
+
+def coerce_resume(resume: "ResumeToken | Mapping | str | Path") -> ResumeToken:
+    """Accept a token, a raw payload mapping, or a checkpoint path."""
+    if isinstance(resume, ResumeToken):
+        return _validate_payload(dict(resume.payload), source="resume token")
+    if isinstance(resume, (str, Path)):
+        return load_checkpoint(resume)
+    if isinstance(resume, Mapping):
+        return _validate_payload(dict(resume), source="resume payload")
+    raise CheckpointError(
+        f"cannot resume from {type(resume).__name__}: expected a ResumeToken,"
+        " a checkpoint path or a payload mapping"
+    )
+
+
+def restore_service(token: ResumeToken, service: "EvaluationService") -> None:
+    """Load *token*'s memo into *service*, validating graph identity."""
+    payload = token.payload
+    if payload["graph"] != service.graph.name:
+        raise CheckpointError(
+            f"checkpoint was written for graph {payload['graph']!r},"
+            f" not {service.graph.name!r}"
+        )
+    if list(payload.get("channels", ())) != list(service.graph.channel_names):
+        raise CheckpointError(
+            f"checkpoint channel set {payload.get('channels')} does not match"
+            f" graph {service.graph.name!r} ({list(service.graph.channel_names)})"
+        )
+    if not service.cache_enabled:
+        raise CheckpointError("resuming requires the memo cache (cache=True)")
+    service.restore_state(payload)
+    service.telemetry.emit(
+        "checkpoint_restored",
+        graph=payload["graph"],
+        probes_banked=token.probes_recorded,
+    )
+
+
+def _coerce_token(token: object) -> ResumeToken:
+    if isinstance(token, ResumeToken):
+        return token
+    resume = getattr(token, "resume_token", None)
+    if isinstance(resume, ResumeToken):
+        return resume
+    raise CheckpointError(
+        f"cannot checkpoint a {type(token).__name__}: expected a ResumeToken"
+        " or a DesignSpaceResult carrying one"
+    )
+
+
+def _validate_payload(payload: dict, *, source: str) -> ResumeToken:
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{source}: not a {CHECKPOINT_FORMAT} payload")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{source}: checkpoint version {version!r} is not supported"
+            f" (expected {CHECKPOINT_VERSION})"
+        )
+    for key in ("graph", "observe", "strategy", "channels", "memo"):
+        if key not in payload:
+            raise CheckpointError(f"{source}: checkpoint misses the {key!r} section")
+    return ResumeToken(payload)

@@ -1,0 +1,182 @@
+"""`ExplorationConfig` — the one knob object for all exploration entry points.
+
+PRs past bolted ``workers=``, ``cache=``, ``engine=`` and ``evaluator=``
+onto every exploration function.  This module replaces that creeping
+surface with a single frozen dataclass accepted as ``config=`` by
+
+* :func:`repro.buffers.explorer.explore_design_space`,
+* :func:`repro.buffers.explorer.minimal_distribution_for_throughput`,
+* :func:`repro.buffers.dependencies.dependency_sweep`,
+* :func:`repro.buffers.dependencies.find_minimal_distribution`,
+* :class:`repro.buffers.evalcache.EvaluationService`.
+
+The old keywords still work — they are a thin shim that builds a config
+and emits a :class:`DeprecationWarning` — so no caller breaks, but new
+capabilities (budgets, checkpoints, telemetry, fault-tolerance tuning)
+land on the config only.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+from collections.abc import Callable
+
+from repro.exceptions import EngineError, ExplorationError
+from repro.runtime.budget import Budget
+from repro.runtime.telemetry import TelemetryEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.buffers.evalcache import EvaluationService
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit value in
+#: the deprecated-keyword shims.
+UNSET = type("_Unset", (), {"__repr__": lambda self: "<unset>", "__bool__": lambda self: False})()
+
+#: Valid engine selectors (kept in sync with
+#: :data:`repro.engine.fastcore.ENGINES`; duplicated here so building a
+#: config stays import-light).
+_ENGINES = ("auto", "fast", "reference")
+
+
+@dataclass(frozen=True)
+class ExplorationConfig:
+    """Everything that shapes *how* an exploration runs (never *what*).
+
+    Parameters
+    ----------
+    engine:
+        Simulation kernel for plain throughput probes: ``"auto"``,
+        ``"fast"`` or ``"reference"``.
+    workers:
+        Process-pool size for fanning out independent probes; ``1``
+        stays serial (bit-identical results either way).
+    cache:
+        Keep the exact memo/pruning cache enabled.  Budgets and
+        checkpoints require it.
+    evaluator:
+        Bring-your-own :class:`~repro.buffers.evalcache
+        .EvaluationService` (e.g. a warm cache shared across runs).
+        When set, ``engine`` / ``workers`` / ``cache`` / ``budget`` /
+        ``on_event`` must be left at their defaults — the service was
+        already built and its own controller governs the run.
+    budget:
+        Optional :class:`~repro.runtime.budget.Budget` (deadline,
+        probe budget, cancel token).  Hitting it makes
+        ``explore_design_space`` return a partial result flagged
+        ``complete=False`` with a resume token.
+    checkpoint:
+        Optional path; when set, ``explore_design_space`` writes a
+        checkpoint JSON there at the end of the run (partial or
+        complete), suitable for ``resume=``.
+    on_event:
+        Callback receiving every
+        :class:`~repro.runtime.telemetry.TelemetryEvent` of the run.
+    probe_timeout:
+        Per-probe wall-clock timeout (seconds) for pool workers; a
+        probe exceeding it counts as a pool failure (restart / inline
+        retry).  ``None`` disables the watchdog.
+    max_pool_restarts:
+        How many times a broken worker pool is rebuilt before the run
+        degrades to inline evaluation for good.
+    retry_backoff:
+        Base sleep (seconds) before a pool restart; doubles per
+        consecutive restart.
+    """
+
+    engine: str = "auto"
+    workers: int = 1
+    cache: bool = True
+    evaluator: "EvaluationService | None" = None
+    budget: Budget | None = None
+    checkpoint: str | Path | None = None
+    on_event: Callable[[TelemetryEvent], None] | None = field(default=None)
+    probe_timeout: float | None = None
+    max_pool_restarts: int = 1
+    retry_backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise EngineError(
+                f"unknown engine {self.engine!r}; expected one of {_ENGINES}"
+            )
+        if int(self.workers) < 1:
+            raise ExplorationError("workers must be >= 1")
+        if self.max_pool_restarts < 0:
+            raise ExplorationError("max_pool_restarts must be >= 0")
+        if self.probe_timeout is not None and self.probe_timeout <= 0:
+            raise ExplorationError("probe_timeout must be positive")
+        if self.budget is not None and not self.cache:
+            raise ExplorationError(
+                "budgets require the memo cache (cache=True): partial results"
+                " and resume tokens are reconstructed from it"
+            )
+        if self.evaluator is not None:
+            owned_only = {
+                "engine": "auto",
+                "workers": 1,
+                "cache": True,
+                "budget": None,
+                "on_event": None,
+            }
+            clashes = [
+                name
+                for name, default in owned_only.items()
+                if getattr(self, name) != default
+            ]
+            if clashes:
+                raise ExplorationError(
+                    "config.evaluator supplies a ready-made service; configure"
+                    f" {', '.join(clashes)} on that service's own config instead"
+                )
+
+    def replaced(self, **changes) -> "ExplorationConfig":
+        """A copy with *changes* applied (frozen-dataclass convenience)."""
+        return replace(self, **changes)
+
+
+def coerce_config(
+    config: ExplorationConfig | None,
+    *,
+    caller: str,
+    workers: object = UNSET,
+    cache: object = UNSET,
+    engine: object = UNSET,
+    evaluator: object = UNSET,
+    stacklevel: int = 3,
+) -> ExplorationConfig:
+    """Resolve the ``config=`` / legacy-kwarg shim of one entry point.
+
+    Legacy keywords passed explicitly produce a :class:`DeprecationWarning`
+    (one per call, naming the migration) and are folded into a fresh
+    config; mixing them with an explicit ``config=`` is an error, since
+    silently preferring either side would hide a real conflict.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("workers", workers),
+            ("cache", cache),
+            ("engine", engine),
+            ("evaluator", evaluator),
+        )
+        if value is not UNSET
+    }
+    if not legacy:
+        return config if config is not None else ExplorationConfig()
+    if config is not None:
+        raise ExplorationError(
+            f"{caller}: pass either config= or the legacy keyword(s)"
+            f" {sorted(legacy)}, not both"
+        )
+    rendered = ", ".join(f"{name}=" for name in sorted(legacy))
+    warnings.warn(
+        f"{caller}: the keyword(s) {rendered} are deprecated; pass"
+        " config=ExplorationConfig(...) carrying them instead"
+        " (see docs/RUNTIME.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return ExplorationConfig(**legacy)

@@ -1,0 +1,119 @@
+"""The run controller: budget accounting at probe granularity.
+
+One :class:`RunController` lives on every
+:class:`~repro.buffers.evalcache.EvaluationService`.  The service asks
+it for permission before every state-space execution
+(:meth:`before_probes`); the controller checks the wall-clock deadline,
+the cancel token and the probe budget, and raises
+:class:`~repro.exceptions.BudgetExhausted` when any of them tripped.
+Because the check sits *between* probes, interruption never corrupts a
+result: everything recorded so far is exact, and a run resumed from the
+memo cache replays those records as free cache hits.
+
+The controller also owns the run's :class:`~repro.runtime.telemetry
+.TelemetryHub`, so budget verdicts and probe counts land in the same
+structured stream as the service's own events.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.exceptions import BudgetExhausted
+from repro.runtime.budget import Budget
+from repro.runtime.telemetry import TelemetryHub
+
+
+class RunController:
+    """Cooperative budget enforcement plus telemetry ownership.
+
+    Parameters
+    ----------
+    budget:
+        Limits for this run; ``None`` means unlimited.
+    telemetry:
+        Shared hub; a private one (no callback) is created otherwise.
+    clock:
+        Injectable monotonic clock for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        telemetry: TelemetryHub | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.budget = budget if budget is not None else Budget()
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub(clock=clock)
+        self._clock = clock
+        self.started = clock()
+        #: State-space executions charged against this run's budget.
+        self.probes_used = 0
+        #: Why the budget tripped, once it has (``None`` while healthy).
+        self.exhausted_reason: str | None = None
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        return self._clock() - self.started
+
+    @property
+    def exhausted(self) -> bool:
+        return self.exhausted_reason is not None
+
+    def remaining_probes(self) -> int | None:
+        """Probes left in the budget (``None`` = unlimited)."""
+        if self.budget.max_probes is None:
+            return None
+        return max(0, self.budget.max_probes - self.probes_used)
+
+    def allows(self, probes: int) -> bool:
+        """Whether *probes* more executions fit the budget right now."""
+        if self._tripped_reason() is not None:
+            return False
+        remaining = self.remaining_probes()
+        return remaining is None or probes <= remaining
+
+    # -- enforcement -------------------------------------------------------
+    def check(self) -> None:
+        """Raise :class:`BudgetExhausted` if deadline/cancel tripped."""
+        reason = self._tripped_reason()
+        if reason is not None:
+            self._exhaust(reason)
+
+    def before_probes(self, probes: int = 1) -> None:
+        """Charge *probes* executions; raise when the budget is spent.
+
+        The charge happens only when the probes are allowed, so a
+        rejected batch costs nothing and the caller may retry with a
+        smaller one (or inline, one probe at a time).
+        """
+        self.check()
+        remaining = self.remaining_probes()
+        if remaining is not None and probes > remaining:
+            self._exhaust("probes")
+        self.probes_used += probes
+
+    def _tripped_reason(self) -> str | None:
+        budget = self.budget
+        if budget.cancel is not None and budget.cancel.cancelled:
+            return "cancelled"
+        if budget.deadline_s is not None and self.elapsed_s >= budget.deadline_s:
+            return "deadline"
+        return None
+
+    def _exhaust(self, reason: str) -> None:
+        if self.exhausted_reason is None:
+            self.exhausted_reason = reason
+            self.telemetry.emit(
+                "budget_exhausted",
+                reason=reason,
+                probes_used=self.probes_used,
+                elapsed_s=self.elapsed_s,
+            )
+        raise BudgetExhausted(
+            f"exploration budget exhausted ({reason}) after {self.probes_used}"
+            f" probe(s), {self.elapsed_s:.3f}s",
+            reason=reason,
+        )

@@ -1,0 +1,129 @@
+"""Structured telemetry for long-running explorations.
+
+A :class:`TelemetryHub` is a lightweight event/metrics registry shared
+by the run controller, the evaluation service, the worker pool and the
+exploration strategies.  Every notable step emits a named event
+(``probe_start``, ``probe_finish``, ``cache_hit``, ``prune``,
+``frontier_update``, ``pool_restart``, ...); the hub
+
+* keeps a monotonically increasing **counter** per event name,
+* aggregates **timers** (count + total seconds) for timed sections,
+* optionally forwards every event to a user callback (the
+  ``on_event`` field of
+  :class:`~repro.runtime.config.ExplorationConfig`), and
+* renders everything as one JSON-friendly dict (:meth:`snapshot`) —
+  the payload behind the CLI's ``--stats-json``.
+
+The hub never buffers events, so memory stays constant no matter how
+long a run lasts; consumers that want a trace simply append events in
+their callback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping
+
+#: Event names emitted by the built-in instrumentation.  User code may
+#: emit additional names; these are the ones documented in
+#: ``docs/RUNTIME.md``.
+KNOWN_EVENTS = (
+    "run_start",
+    "run_finish",
+    "probe_start",
+    "probe_finish",
+    "cache_hit",
+    "prune",
+    "frontier_update",
+    "pool_restart",
+    "pool_fallback",
+    "budget_exhausted",
+    "checkpoint_saved",
+    "checkpoint_restored",
+)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured event: a name, a payload and a relative timestamp."""
+
+    name: str
+    data: Mapping[str, object] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"event": self.name, "elapsed_s": self.elapsed_s, **dict(self.data)}
+
+
+class TelemetryHub:
+    """Counters, timers and an optional event callback.
+
+    Parameters
+    ----------
+    on_event:
+        Called with every :class:`TelemetryEvent` as it happens.
+        Exceptions raised by the callback propagate to the emitter —
+        telemetry consumers are part of the run and silently swallowing
+        their failures would hide real bugs.
+    clock:
+        Injectable monotonic clock (tests freeze it).
+    """
+
+    def __init__(
+        self,
+        on_event: Callable[[TelemetryEvent], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._on_event = on_event
+        self._clock = clock
+        self._started = clock()
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, dict[str, float]] = {}
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since the hub was created (run start)."""
+        return self._clock() - self._started
+
+    def emit(self, name: str, **data: object) -> None:
+        """Count event *name* and forward it to the callback, if any."""
+        self.counters[name] = self.counters.get(name, 0) + 1
+        if self._on_event is not None:
+            self._on_event(TelemetryEvent(name, data, self.elapsed_s))
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Fold *seconds* into the aggregate timer *name*."""
+        timer = self.timers.setdefault(name, {"count": 0, "total_s": 0.0})
+        timer["count"] += 1
+        timer["total_s"] += seconds
+
+    def timed(self, name: str) -> "_TimerContext":
+        """Context manager recording its duration under timer *name*."""
+        return _TimerContext(self, name)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view of all counters and timers."""
+        return {
+            "elapsed_s": self.elapsed_s,
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: {"count": int(timer["count"]), "total_s": timer["total_s"]}
+                for name, timer in sorted(self.timers.items())
+            },
+        }
+
+
+class _TimerContext:
+    __slots__ = ("_hub", "_name", "_start")
+
+    def __init__(self, hub: TelemetryHub, name: str):
+        self._hub = hub
+        self._name = name
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = self._hub._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._hub.record_time(self._name, self._hub._clock() - self._start)

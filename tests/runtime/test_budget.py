@@ -1,0 +1,235 @@
+"""Budgets, cancellation and the run controller.
+
+Covers the controller's accounting in isolation (injected clock) and
+the end-to-end contract of ``explore_design_space``: a tripped budget
+yields a partial result whose front is dominated-consistent with the
+full exploration, never an exception.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.evalcache import EvaluationService
+from repro.buffers.explorer import explore_design_space
+from repro.engine.executor import Executor
+from repro.exceptions import BudgetExhausted, ExplorationError
+from repro.gallery.registry import gallery_graph
+from repro.runtime import Budget, CancelToken, ExplorationConfig
+from repro.runtime.controller import RunController
+from repro.runtime.telemetry import TelemetryHub
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBudget:
+    def test_unlimited_by_default(self):
+        assert Budget().unlimited
+
+    def test_any_limit_defeats_unlimited(self):
+        assert not Budget(deadline_s=10).unlimited
+        assert not Budget(max_probes=5).unlimited
+        assert not Budget(cancel=CancelToken()).unlimited
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ExplorationError):
+            Budget(deadline_s=-1)
+        with pytest.raises(ExplorationError):
+            Budget(max_probes=-1)
+
+    def test_cancel_token_is_idempotent_and_threadsafe_flag(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+
+
+class TestRunController:
+    def make(self, budget, clock=None):
+        clock = clock or FakeClock()
+        return RunController(budget, TelemetryHub(clock=clock), clock=clock), clock
+
+    def test_unlimited_never_trips(self):
+        controller, _ = self.make(None)
+        for _ in range(1000):
+            controller.before_probes()
+        assert controller.probes_used == 1000
+        assert not controller.exhausted
+
+    def test_probe_budget_trips_at_boundary(self):
+        controller, _ = self.make(Budget(max_probes=3))
+        for _ in range(3):
+            controller.before_probes()
+        with pytest.raises(BudgetExhausted) as caught:
+            controller.before_probes()
+        assert caught.value.reason == "probes"
+        assert controller.probes_used == 3  # the rejected probe was not charged
+
+    def test_batch_charge_is_all_or_nothing(self):
+        controller, _ = self.make(Budget(max_probes=5))
+        controller.before_probes(3)
+        assert controller.allows(2)
+        assert not controller.allows(3)
+        with pytest.raises(BudgetExhausted):
+            controller.before_probes(3)
+        assert controller.probes_used == 3  # rejected batch cost nothing
+        controller.before_probes(2)  # the remainder still fits
+        assert controller.remaining_probes() == 0
+
+    def test_deadline_trips_via_clock(self):
+        controller, clock = self.make(Budget(deadline_s=10.0))
+        controller.before_probes()
+        clock.advance(10.0)
+        with pytest.raises(BudgetExhausted) as caught:
+            controller.before_probes()
+        assert caught.value.reason == "deadline"
+
+    def test_cancel_trips_immediately(self):
+        token = CancelToken()
+        controller, _ = self.make(Budget(cancel=token))
+        controller.before_probes()
+        token.cancel()
+        with pytest.raises(BudgetExhausted) as caught:
+            controller.check()
+        assert caught.value.reason == "cancelled"
+
+    def test_budget_exhausted_event_emitted_once(self):
+        controller, _ = self.make(Budget(max_probes=0))
+        for _ in range(3):
+            with pytest.raises(BudgetExhausted):
+                controller.before_probes()
+        assert controller.telemetry.counters["budget_exhausted"] == 1
+
+
+class TestServiceBudget:
+    def test_service_charges_each_execution(self):
+        graph = gallery_graph("example")
+        service = EvaluationService(
+            graph, "c", config=ExplorationConfig(budget=Budget(max_probes=2))
+        )
+        lower = {"alpha": 4, "beta": 2}
+        from repro.buffers.distribution import StorageDistribution
+
+        service(StorageDistribution(lower))
+        service(StorageDistribution({"alpha": 5, "beta": 2}))
+        with pytest.raises(BudgetExhausted):
+            service(StorageDistribution({"alpha": 6, "beta": 2}))
+        # Cache hits stay free after exhaustion.
+        assert service(StorageDistribution(lower)) == Fraction(1, 7)
+
+    def test_budget_requires_cache(self):
+        with pytest.raises(ExplorationError, match="cache"):
+            ExplorationConfig(cache=False, budget=Budget(max_probes=1))
+
+
+class TestPartialResults:
+    def test_probe_budget_yields_partial_result(self):
+        graph = gallery_graph("example")
+        result = explore_design_space(
+            graph, "c", config=ExplorationConfig(budget=Budget(max_probes=4))
+        )
+        assert not result.complete
+        assert result.exhausted == "probes"
+        assert result.resume_token is not None
+        assert result.stats.evaluations == 4
+
+    def test_zero_deadline_yields_empty_partial_not_an_exception(self):
+        graph = gallery_graph("example")
+        result = explore_design_space(
+            graph, "c", config=ExplorationConfig(budget=Budget(deadline_s=0.0))
+        )
+        assert not result.complete
+        assert result.exhausted == "deadline"
+        assert len(result.front) == 0
+
+    def test_cancellation_mid_run_via_telemetry_callback(self):
+        graph = gallery_graph("example")
+        token = CancelToken()
+        finishes = []
+
+        def cancel_after_three(event):
+            if event.name == "probe_finish":
+                finishes.append(event)
+                if len(finishes) == 3:
+                    token.cancel()
+
+        result = explore_design_space(
+            graph,
+            "c",
+            config=ExplorationConfig(
+                budget=Budget(cancel=token), on_event=cancel_after_three
+            ),
+        )
+        assert not result.complete
+        assert result.exhausted == "cancelled"
+        assert result.stats.evaluations == 3
+
+    @pytest.mark.parametrize("max_probes", [1, 2, 4, 6])
+    def test_partial_front_is_dominated_consistent(self, max_probes):
+        """Every partial-front point is a true evaluation, the front is a
+        valid Pareto front, and it never contradicts the full one."""
+        graph = gallery_graph("example")
+        full = explore_design_space(graph, "c")
+        partial = explore_design_space(
+            graph, "c", config=ExplorationConfig(budget=Budget(max_probes=max_probes))
+        )
+        assert not partial.complete
+        for point in partial.front:
+            # Witnesses really achieve the claimed throughput (exactness).
+            for witness in point.witnesses:
+                actual = Executor(graph, witness, "c").run().throughput
+                assert actual == point.throughput
+            # Never claims more than the true design space offers.
+            assert point.throughput <= full.front.throughput_at(point.size)
+        # Front invariant: strictly increasing in both dimensions.
+        sizes = partial.front.sizes()
+        throughputs = partial.front.throughputs()
+        assert sizes == sorted(set(sizes))
+        assert throughputs == sorted(set(throughputs))
+
+    def test_partial_result_counts_only_new_probes_on_resume(self):
+        """The replayed prefix is free: each resumed leg pays only for
+        fresh executions, so the run finishes in ceil(total/leg) legs."""
+        graph = gallery_graph("example")
+        full = explore_design_space(graph, "c")
+        total = full.stats.evaluations
+        leg_budget = 4
+        legs = 1
+        result = explore_design_space(
+            graph, "c", config=ExplorationConfig(budget=Budget(max_probes=leg_budget))
+        )
+        while not result.complete:
+            legs += 1
+            result = explore_design_space(
+                graph,
+                "c",
+                config=ExplorationConfig(budget=Budget(max_probes=leg_budget)),
+                resume=result.resume_token,
+            )
+            assert legs < 20, "resume is not making progress"
+        assert legs == -(-total // leg_budget)  # ceil division
+        assert result.front == full.front
+
+    def test_find_minimal_distribution_propagates_exhaustion(self):
+        """A budget tripping before a witness must not masquerade as
+        'provably unachievable' (None)."""
+        from repro.buffers.dependencies import find_minimal_distribution
+
+        graph = gallery_graph("example")
+        with pytest.raises(BudgetExhausted):
+            find_minimal_distribution(
+                graph,
+                Fraction(1, 4),
+                "c",
+                config=ExplorationConfig(budget=Budget(max_probes=2)),
+            )

@@ -1,0 +1,163 @@
+"""ExplorationConfig: validation, the deprecated-kwarg shim, re-exports."""
+
+import warnings
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.dependencies import dependency_sweep, find_minimal_distribution
+from repro.buffers.evalcache import EvaluationService
+from repro.buffers.explorer import explore_design_space, minimal_distribution_for_throughput
+from repro.exceptions import EngineError, ExplorationError
+from repro.gallery.registry import gallery_graph
+from repro.runtime import Budget, ExplorationConfig
+from repro.runtime.config import UNSET, coerce_config
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = ExplorationConfig()
+        assert config.engine == "auto"
+        assert config.workers == 1
+        assert config.cache is True
+        assert config.budget is None
+
+    def test_unknown_engine_raises_engine_error(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            ExplorationConfig(engine="warp")
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ExplorationError):
+            ExplorationConfig(workers=0)
+
+    def test_probe_timeout_must_be_positive(self):
+        with pytest.raises(ExplorationError):
+            ExplorationConfig(probe_timeout=0)
+
+    def test_max_pool_restarts_nonnegative(self):
+        with pytest.raises(ExplorationError):
+            ExplorationConfig(max_pool_restarts=-1)
+
+    def test_evaluator_excludes_other_run_knobs(self):
+        graph = gallery_graph("example")
+        with EvaluationService(graph, "c") as service:
+            ExplorationConfig(evaluator=service)  # fine on its own
+            with pytest.raises(ExplorationError, match="workers"):
+                ExplorationConfig(evaluator=service, workers=2)
+            with pytest.raises(ExplorationError, match="budget"):
+                ExplorationConfig(evaluator=service, budget=Budget(max_probes=1))
+
+    def test_replaced_returns_modified_copy(self):
+        config = ExplorationConfig(workers=2)
+        other = config.replaced(workers=4)
+        assert config.workers == 2 and other.workers == 4
+        assert other.engine == config.engine
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExplorationConfig().workers = 3
+
+
+class TestCoerceConfig:
+    def test_no_inputs_yields_default_config(self):
+        config = coerce_config(None, caller="f")
+        assert config == ExplorationConfig()
+
+    def test_explicit_config_passes_through(self):
+        config = ExplorationConfig(workers=2)
+        assert coerce_config(config, caller="f") is config
+
+    def test_legacy_kwargs_warn_and_fold_into_config(self):
+        with pytest.deprecated_call(match="f: the keyword"):
+            config = coerce_config(None, caller="f", workers=3, engine="reference")
+        assert config.workers == 3
+        assert config.engine == "reference"
+
+    def test_mixing_config_and_legacy_raises(self):
+        with pytest.raises(ExplorationError, match="not both"):
+            coerce_config(ExplorationConfig(), caller="f", workers=2)
+
+    def test_unset_sentinel_is_falsy_and_distinct_from_none(self):
+        assert not UNSET
+        # None is a meaningful legacy value (e.g. evaluator=None must warn).
+        with pytest.deprecated_call():
+            config = coerce_config(None, caller="f", evaluator=None)
+        assert config.evaluator is None
+
+
+class TestEntryPointShims:
+    """Every public entry point accepts config= and deprecates the old kwargs."""
+
+    def test_explore_design_space(self):
+        graph = gallery_graph("example")
+        with pytest.deprecated_call(match="explore_design_space"):
+            result = explore_design_space(graph, "c", workers=1)
+        assert result.complete
+
+    def test_explore_design_space_config_equivalent(self):
+        graph = gallery_graph("example")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = explore_design_space(graph, "c", config=ExplorationConfig())
+        assert [p.size for p in result.front] == [6, 8, 9, 10]
+
+    def test_minimal_distribution_for_throughput(self):
+        graph = gallery_graph("example")
+        with pytest.deprecated_call(match="minimal_distribution_for_throughput"):
+            point = minimal_distribution_for_throughput(
+                graph, Fraction(1, 6), "c", engine="auto"
+            )
+        assert point.size == 8
+
+    def test_dependency_sweep(self):
+        graph = gallery_graph("example")
+        with pytest.deprecated_call(match="dependency_sweep"):
+            sweep = dependency_sweep(
+                graph, "c", stop_throughput=Fraction(1, 4), engine="reference"
+            )
+        assert sweep.complete
+
+    def test_find_minimal_distribution(self):
+        graph = gallery_graph("example")
+        with pytest.deprecated_call(match="find_minimal_distribution"):
+            found = find_minimal_distribution(graph, Fraction(1, 6), "c", engine="auto")
+        assert found is not None
+
+    def test_evaluation_service(self):
+        graph = gallery_graph("example")
+        with pytest.deprecated_call(match="EvaluationService"):
+            service = EvaluationService(graph, "c", workers=1, cache=True)
+        service.close()
+
+    def test_mixing_raises_at_entry_point(self):
+        graph = gallery_graph("example")
+        with pytest.raises(ExplorationError, match="not both"):
+            explore_design_space(graph, "c", config=ExplorationConfig(), workers=2)
+
+    def test_config_only_call_emits_no_deprecation(self):
+        graph = gallery_graph("example")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            EvaluationService(graph, "c", config=ExplorationConfig()).close()
+            dependency_sweep(
+                graph, "c", stop_throughput=Fraction(1, 4), config=ExplorationConfig()
+            )
+
+
+class TestTopLevelExports:
+    def test_runtime_api_reexported_from_repro(self):
+        import repro
+
+        for name in (
+            "ExplorationConfig",
+            "Budget",
+            "CancelToken",
+            "BudgetExhausted",
+            "CheckpointError",
+            "ResumeToken",
+            "TelemetryEvent",
+            "load_checkpoint",
+            "save_checkpoint",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__

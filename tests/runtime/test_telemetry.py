@@ -1,0 +1,93 @@
+"""Unit tests for the telemetry hub."""
+
+import pytest
+
+from repro.runtime.telemetry import KNOWN_EVENTS, TelemetryEvent, TelemetryHub
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTelemetryHub:
+    def test_counters_accumulate_per_event_name(self):
+        hub = TelemetryHub()
+        hub.emit("probe_start")
+        hub.emit("probe_start")
+        hub.emit("cache_hit")
+        assert hub.counters == {"probe_start": 2, "cache_hit": 1}
+
+    def test_callback_receives_structured_events(self):
+        clock = FakeClock()
+        seen = []
+        hub = TelemetryHub(on_event=seen.append, clock=clock)
+        clock.advance(1.5)
+        hub.emit("probe_finish", size=7, throughput="1/4")
+        (event,) = seen
+        assert isinstance(event, TelemetryEvent)
+        assert event.name == "probe_finish"
+        assert event.data == {"size": 7, "throughput": "1/4"}
+        assert event.elapsed_s == pytest.approx(1.5)
+
+    def test_event_to_dict_flattens_payload(self):
+        event = TelemetryEvent("prune", {"kind": "ceiling"}, 2.0)
+        assert event.to_dict() == {"event": "prune", "elapsed_s": 2.0, "kind": "ceiling"}
+
+    def test_no_callback_is_fine(self):
+        hub = TelemetryHub()
+        hub.emit("run_start", graph="g")  # must not raise
+        assert hub.counters["run_start"] == 1
+
+    def test_callback_errors_propagate(self):
+        def explode(event):
+            raise RuntimeError("consumer bug")
+
+        hub = TelemetryHub(on_event=explode)
+        with pytest.raises(RuntimeError, match="consumer bug"):
+            hub.emit("run_start")
+
+    def test_timers_aggregate_count_and_total(self):
+        hub = TelemetryHub()
+        hub.record_time("probe", 0.25)
+        hub.record_time("probe", 0.5)
+        assert hub.timers["probe"]["count"] == 2
+        assert hub.timers["probe"]["total_s"] == pytest.approx(0.75)
+
+    def test_timed_context_uses_clock(self):
+        clock = FakeClock()
+        hub = TelemetryHub(clock=clock)
+        with hub.timed("section"):
+            clock.advance(3.0)
+        assert hub.timers["section"]["total_s"] == pytest.approx(3.0)
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        clock = FakeClock()
+        hub = TelemetryHub(clock=clock)
+        hub.emit("probe_start")
+        hub.record_time("probe", 0.1)
+        clock.advance(2.0)
+        snapshot = hub.snapshot()
+        assert snapshot["elapsed_s"] == pytest.approx(2.0)
+        assert snapshot["counters"] == {"probe_start": 1}
+        assert snapshot["timers"]["probe"]["count"] == 1
+        json.dumps(snapshot)  # must serialise
+
+    def test_memory_constant_no_event_buffer(self):
+        hub = TelemetryHub()
+        for _ in range(10_000):
+            hub.emit("cache_hit")
+        # Only the counter grows, no per-event storage.
+        assert hub.counters == {"cache_hit": 10_000}
+
+    def test_known_events_documented(self):
+        for name in ("probe_start", "pool_restart", "budget_exhausted", "checkpoint_saved"):
+            assert name in KNOWN_EVENTS
