@@ -46,6 +46,7 @@ from repro.exceptions import (
     InconsistentGraphError,
     ParseError,
     ReproError,
+    ServiceError,
     ValidationError,
 )
 from repro.graph import Actor, Channel, GraphBuilder, SDFGraph
@@ -88,6 +89,7 @@ __all__ = [
     "ResumeToken",
     "SDFGraph",
     "Schedule",
+    "ServiceError",
     "StorageDistribution",
     "TelemetryEvent",
     "ValidationError",

@@ -39,7 +39,7 @@ from repro.buffers.evalcache import EvaluationService
 from repro.buffers.pareto import ParetoFront, ParetoPoint
 from repro.buffers.quantize import thin_front
 from repro.buffers.search import SizeProbe, divide_and_conquer, exhaustive_sweep
-from repro.exceptions import BudgetExhausted, ExplorationError
+from repro.exceptions import BudgetExhausted, ExplorationError, ParseError
 from repro.graph.graph import SDFGraph
 from repro.runtime.checkpoint import (
     ResumeToken,
@@ -51,6 +51,12 @@ from repro.runtime.checkpoint import (
 from repro.runtime.config import UNSET, ExplorationConfig, coerce_config
 
 _STRATEGIES = ("dependency", "divide", "exhaustive")
+
+#: Version stamped into every serialised :class:`DesignSpaceResult`
+#: (``io/frontjson`` documents, ``--output-json``, service job
+#: payloads).  Readers reject any other version explicitly instead of
+#: failing on whatever key happens to be missing.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -119,6 +125,7 @@ class DesignSpaceResult:
         (checkpoints have their own file; telemetry its own flag).
         """
         return {
+            "schema": RESULT_SCHEMA_VERSION,
             "graph": self.graph_name,
             "observe": self.observe,
             "complete": self.complete,
@@ -132,7 +139,18 @@ class DesignSpaceResult:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "DesignSpaceResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Documents without a ``"schema"`` field (written before the
+        field existed) are read as version 1; any other version is
+        rejected with a :class:`~repro.exceptions.ParseError`.
+        """
+        version = data.get("schema", RESULT_SCHEMA_VERSION)
+        if version != RESULT_SCHEMA_VERSION:
+            raise ParseError(
+                f"unsupported result schema version {version!r}; this build"
+                f" reads version {RESULT_SCHEMA_VERSION}"
+            )
         return cls(
             graph_name=data["graph"],
             observe=data["observe"],

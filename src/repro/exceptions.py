@@ -93,6 +93,20 @@ class ParseError(ReproError):
     """An input file (XML / JSON graph description) could not be parsed."""
 
 
+class ServiceError(ReproError):
+    """A request to the analysis service failed.
+
+    Raised by the HTTP layer of :mod:`repro.service` for malformed
+    requests, unknown graphs or jobs, and a full job queue; the
+    blocking client re-raises the server's rendering of it.  Carries
+    the HTTP :attr:`status` the failure maps to.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
 class AnalysisError(ReproError):
     """A graph analysis could not be completed.
 

@@ -20,9 +20,11 @@ from __future__ import annotations
 import json
 from fractions import Fraction
 from pathlib import Path
+from collections.abc import Mapping
 
-from repro.buffers.explorer import DesignSpaceResult
+from repro.buffers.explorer import RESULT_SCHEMA_VERSION, DesignSpaceResult
 from repro.buffers.pareto import ParetoFront
+from repro.exceptions import ParseError
 
 
 def front_to_dict(front: ParetoFront) -> list[dict]:
@@ -41,8 +43,24 @@ def result_to_dict(result: DesignSpaceResult) -> dict:
 
 
 def result_from_dict(data: dict) -> DesignSpaceResult:
-    """Inverse of :func:`result_to_dict`."""
-    return DesignSpaceResult.from_dict(data)
+    """Inverse of :func:`result_to_dict`.
+
+    Malformed payloads — a missing section, a non-integer capacity, an
+    unsupported ``"schema"`` version — raise
+    :class:`~repro.exceptions.ParseError` naming the problem.
+    """
+    if not isinstance(data, Mapping):
+        raise ParseError(
+            f"exploration result must be a JSON object, not {type(data).__name__}"
+        )
+    try:
+        return DesignSpaceResult.from_dict(data)
+    except ParseError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ParseError(
+            f"malformed exploration result (schema {RESULT_SCHEMA_VERSION}): {error!r}"
+        ) from error
 
 
 def write_result_json(result: DesignSpaceResult, path: str | Path) -> None:
@@ -53,8 +71,16 @@ def write_result_json(result: DesignSpaceResult, path: str | Path) -> None:
 
 
 def read_result_json(path: str | Path) -> DesignSpaceResult:
-    """Load a :func:`write_result_json` document back into a result."""
-    return result_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+    """Load a :func:`write_result_json` document back into a result.
+
+    Raises :class:`~repro.exceptions.ParseError` for truncated or
+    otherwise invalid JSON and for structurally malformed payloads.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ParseError(f"{path}: not valid result JSON ({error})") from None
+    return result_from_dict(data)
 
 
 def parse_throughput(value: str) -> Fraction:

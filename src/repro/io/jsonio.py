@@ -15,6 +15,7 @@ A minimal, stable exchange format::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from collections.abc import Mapping
@@ -65,6 +66,40 @@ def graph_from_dict(data: Mapping) -> SDFGraph:
         raise ParseError(f"malformed graph dictionary: {error}") from error
     validate_graph(graph)
     return graph
+
+
+def graph_fingerprint(graph: SDFGraph) -> str:
+    """Stable content hash of *graph* — the graph-registry key.
+
+    The fingerprint covers everything that determines analysis results
+    (actors with execution times, channels with rates and initial
+    tokens) and nothing that does not: the graph's display *name* is
+    excluded, and actors/channels are sorted canonically, so two graphs
+    built in different insertion orders — or submitted under different
+    names by different clients — hash identically.  Any difference in
+    structure, rates, execution times or initial tokens changes the
+    hash.
+    """
+    canonical = {
+        "actors": sorted(
+            (actor.name, actor.execution_time) for actor in graph.actors.values()
+        ),
+        "channels": sorted(
+            (
+                channel.name,
+                channel.source,
+                channel.destination,
+                channel.production,
+                channel.consumption,
+                channel.initial_tokens,
+            )
+            for channel in graph.channels.values()
+        ),
+    }
+    digest = hashlib.sha256(
+        json.dumps(canonical, separators=(",", ":")).encode("utf-8")
+    )
+    return digest.hexdigest()
 
 
 def write_json(graph: SDFGraph, path: str | Path) -> None:

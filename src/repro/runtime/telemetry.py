@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 #: Event names emitted by the built-in instrumentation.  User code may
 #: emit additional names; these are the ones documented in
@@ -112,6 +112,83 @@ class TelemetryHub:
                 for name, timer in sorted(self.timers.items())
             },
         }
+
+    def merge(self, other: "TelemetryHub | Mapping") -> "TelemetryHub":
+        """Fold *other*'s counters and timers into this hub.
+
+        *other* may be a live :class:`TelemetryHub` or a
+        :meth:`snapshot` payload.  Counters add up; timers fold both
+        their count and total.  This is how per-job hubs aggregate into
+        a server-wide metrics view (``repro.service``) without the jobs
+        sharing a mutable hub.  Events are *not* re-emitted — merging
+        is pure accounting.  Returns ``self`` for chaining.
+        """
+        if isinstance(other, TelemetryHub):
+            counters: Mapping[str, int] = other.counters
+            timers: Mapping[str, Mapping[str, float]] = other.timers
+        else:
+            counters = other.get("counters", {})
+            timers = other.get("timers", {})
+        for name, count in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + int(count)
+        for name, timer in timers.items():
+            merged = self.timers.setdefault(name, {"count": 0, "total_s": 0.0})
+            merged["count"] += int(timer["count"])
+            merged["total_s"] += float(timer["total_s"])
+        return self
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_prometheus(
+    hub: TelemetryHub,
+    *,
+    namespace: str = "repro",
+    gauges: "Iterable[tuple[str, Mapping[str, str], float]] | None" = None,
+) -> str:
+    """Render *hub* in the Prometheus text exposition format.
+
+    Counters become one ``<namespace>_events_total`` family labelled by
+    event name; timers become ``<namespace>_timer_seconds_count`` /
+    ``<namespace>_timer_seconds_sum`` pairs (the standard summary-style
+    rendering); the hub's uptime is exported as
+    ``<namespace>_uptime_seconds``.  *gauges* adds caller-provided
+    ``(name, labels, value)`` gauge samples — the server uses this for
+    queue depth and jobs-by-state, which live outside the hub.
+    """
+    lines = [
+        f"# HELP {namespace}_uptime_seconds Seconds since the hub was created.",
+        f"# TYPE {namespace}_uptime_seconds gauge",
+        f"{namespace}_uptime_seconds {hub.elapsed_s}",
+        f"# HELP {namespace}_events_total Telemetry event counters by event name.",
+        f"# TYPE {namespace}_events_total counter",
+    ]
+    for name, count in sorted(hub.counters.items()):
+        lines.append(f'{namespace}_events_total{{event="{_prom_escape(name)}"}} {count}')
+    lines.append(
+        f"# HELP {namespace}_timer_seconds Aggregated section timings by timer name."
+    )
+    lines.append(f"# TYPE {namespace}_timer_seconds summary")
+    for name, timer in sorted(hub.timers.items()):
+        label = f'timer="{_prom_escape(name)}"'
+        lines.append(f"{namespace}_timer_seconds_count{{{label}}} {int(timer['count'])}")
+        lines.append(f"{namespace}_timer_seconds_sum{{{label}}} {timer['total_s']}")
+    if gauges is not None:
+        seen_families: set[str] = set()
+        for name, labels, value in gauges:
+            family = f"{namespace}_{name}"
+            if family not in seen_families:
+                seen_families.add(family)
+                lines.append(f"# TYPE {family} gauge")
+            rendered = ",".join(
+                f'{key}="{_prom_escape(str(val))}"' for key, val in sorted(labels.items())
+            )
+            suffix = f"{{{rendered}}}" if rendered else ""
+            lines.append(f"{family}{suffix} {value}")
+    return "\n".join(lines) + "\n"
 
 
 class _TimerContext:

@@ -1,0 +1,34 @@
+"""repro.service — the analysis library as a resident, multi-client server.
+
+Turns one-shot explorations into *dimensioning as a service*:
+
+* :mod:`repro.service.registry` — content-addressed graph store;
+  identical graphs share one entry and one memo bank;
+* :mod:`repro.service.jobs` — bounded priority queue, worker pool,
+  JSONL-durable job table, resume-on-restart for interrupted DSE jobs;
+* :mod:`repro.service.server` / :mod:`repro.service.api` — stdlib
+  HTTP/JSON endpoints plus a Prometheus ``/metrics`` exposition;
+* :mod:`repro.service.client` — blocking client SDK;
+* :mod:`repro.service.cli` — the ``repro serve|submit|jobs`` verbs.
+
+See ``docs/SERVICE.md`` for the operator's guide.
+"""
+
+from repro.exceptions import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.jobs import JOB_KINDS, JOB_STATES, Job, JobManager, JobSpec
+from repro.service.registry import GraphRegistry, MemoBank
+from repro.service.server import AnalysisServer
+
+__all__ = [
+    "AnalysisServer",
+    "GraphRegistry",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "MemoBank",
+    "ServiceClient",
+    "ServiceError",
+]

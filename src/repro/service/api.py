@@ -1,0 +1,184 @@
+"""HTTP/JSON API of the analysis service (transport-independent).
+
+The routing table lives here, decoupled from the socket layer
+(:mod:`repro.service.server`) so every endpoint is unit-testable
+without binding a port.  All endpoints speak JSON except
+``GET /metrics``, which serves the Prometheus text exposition format.
+
+Endpoints
+---------
+``POST /graphs``
+    Body: a :mod:`repro.io.jsonio` graph document.  Registers the
+    graph content-addressed; returns ``{"fingerprint", "known"}``.
+``POST /jobs``
+    Body: ``{"graph": <fingerprint or inline graph document>,
+    "kind": "throughput" | "dse" | "minimal-distribution", "observe",
+    "params", "priority", "deadline_s", "max_probes"}``.  Inline
+    graphs are registered on the fly.  Returns 202 with the job
+    rendering.
+``GET /jobs`` / ``GET /jobs/<id>``
+    The job table / one job, including ``result`` once available.
+``DELETE /jobs/<id>``
+    Cancels the job (HTTP 409 if already terminal); an in-flight DSE
+    ends ``cancelled`` with its exact partial result.
+``GET /healthz``
+    Liveness: uptime, job counts, queue depth.
+``GET /metrics``
+    Prometheus text format: telemetry counters/timers (probes, cache
+    hits, per-endpoint request latencies) plus queue-depth and
+    jobs-by-state gauges.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from repro.exceptions import ReproError, ServiceError
+from repro.runtime.telemetry import to_prometheus
+from repro.service.jobs import JobManager, JobSpec
+from repro.service.registry import GraphRegistry
+
+API_VERSION = 1
+
+
+class ApiResponse:
+    """Status, content type and body of one handled request."""
+
+    __slots__ = ("status", "content_type", "body")
+
+    def __init__(self, status: int, body: bytes, content_type: str = "application/json"):
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+
+    @classmethod
+    def json(cls, payload, status: int = 200) -> "ApiResponse":
+        return cls(status, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200) -> "ApiResponse":
+        return cls(status, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8")
+
+
+class AnalysisApi:
+    """Routes requests onto a registry + job manager pair."""
+
+    def __init__(self, registry: GraphRegistry, manager: JobManager):
+        self.registry = registry
+        self.manager = manager
+
+    # -- entry point --------------------------------------------------------
+    def handle(self, method: str, path: str, body: bytes = b"") -> ApiResponse:
+        """Dispatch one request; every failure maps to a JSON error."""
+        route = self.route_label(method, path)
+        hub = self.manager.telemetry
+        try:
+            with hub.timed(f"http {route}"):
+                response = self._dispatch(method, path.rstrip("/") or "/", body)
+            hub.emit("http_request", route=route, status=response.status)
+            return response
+        except ServiceError as error:
+            hub.emit("http_request", route=route, status=error.status)
+            return ApiResponse.json({"error": str(error)}, status=error.status)
+        except ReproError as error:
+            hub.emit("http_request", route=route, status=400)
+            return ApiResponse.json({"error": str(error)}, status=400)
+
+    @staticmethod
+    def route_label(method: str, path: str) -> str:
+        """Collapse ids out of the path so request timers aggregate per
+        endpoint (``DELETE /jobs/<id>``), not per job."""
+        parts = [part for part in path.split("/") if part]
+        if len(parts) >= 2 and parts[0] in ("jobs", "graphs"):
+            parts = [parts[0], "<id>"]
+        return f"{method.upper()} /{'/'.join(parts)}"
+
+    def _dispatch(self, method: str, path: str, body: bytes) -> ApiResponse:
+        method = method.upper()
+        parts = [part for part in path.split("/") if part]
+        if method == "GET" and path == "/healthz":
+            return self._healthz()
+        if method == "GET" and path == "/metrics":
+            return self._metrics()
+        if method == "POST" and path == "/graphs":
+            return self._post_graph(self._json_body(body))
+        if method == "GET" and path == "/graphs":
+            return ApiResponse.json({"graphs": self.registry.fingerprints()})
+        if method == "POST" and path == "/jobs":
+            return self._post_job(self._json_body(body))
+        if method == "GET" and path == "/jobs":
+            return ApiResponse.json({"jobs": [job.to_dict() for job in self.manager.jobs()]})
+        if len(parts) == 2 and parts[0] == "jobs":
+            if method == "GET":
+                return ApiResponse.json(self.manager.get(parts[1]).to_dict())
+            if method == "DELETE":
+                return ApiResponse.json(self.manager.cancel(parts[1]).to_dict())
+        raise ServiceError(f"no route for {method} {path}", status=404)
+
+    # -- endpoint bodies ----------------------------------------------------
+    @staticmethod
+    def _json_body(body: bytes) -> Mapping:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ServiceError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _post_graph(self, payload: Mapping) -> ApiResponse:
+        fingerprint, known = self.registry.add(payload)
+        return ApiResponse.json(
+            {"fingerprint": fingerprint, "known": known},
+            status=200 if known else 201,
+        )
+
+    def _post_job(self, payload: Mapping) -> ApiResponse:
+        graph_ref = payload.get("graph")
+        if isinstance(graph_ref, Mapping):
+            fingerprint, _known = self.registry.add(graph_ref)
+        elif isinstance(graph_ref, str):
+            fingerprint = graph_ref
+        else:
+            raise ServiceError(
+                'jobs need "graph": a fingerprint string or an inline graph object'
+            )
+        graph = self.registry.get(fingerprint)
+        observe = payload.get("observe")
+        if observe is None:
+            observe = graph.actor_names[-1]
+        elif observe not in graph.actors:
+            raise ServiceError(f"graph has no actor {observe!r}")
+        spec = JobSpec(
+            kind=str(payload.get("kind", "dse")),
+            fingerprint=fingerprint,
+            observe=str(observe),
+            params=dict(payload.get("params", {})),
+            priority=int(payload.get("priority", 0)),
+            deadline_s=payload.get("deadline_s"),
+            max_probes=payload.get("max_probes"),
+        )
+        job = self.manager.submit(spec)
+        return ApiResponse.json(job.to_dict(), status=202)
+
+    def _healthz(self) -> ApiResponse:
+        return ApiResponse.json(
+            {
+                "status": "ok",
+                "api_version": API_VERSION,
+                "uptime_s": self.manager.telemetry.elapsed_s,
+                "graphs": len(self.registry),
+                "queue_depth": self.manager.queue_depth,
+                "jobs": self.manager.states_count(),
+            }
+        )
+
+    def _metrics(self) -> ApiResponse:
+        gauges = [("queue_depth", {}, float(self.manager.queue_depth))]
+        for state, count in sorted(self.manager.states_count().items()):
+            gauges.append(("jobs", {"state": state}, float(count)))
+        gauges.append(("graphs_registered", {}, float(len(self.registry))))
+        return ApiResponse.text(
+            to_prometheus(self.manager.telemetry, gauges=gauges)
+        )

@@ -1,0 +1,131 @@
+"""Blocking HTTP client for the analysis service (stdlib ``urllib``).
+
+Used by the ``repro submit`` / ``repro jobs`` CLI verbs and the test
+suite; application code can use it as a minimal SDK::
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    fingerprint = client.submit_graph(graph)
+    job = client.submit_job(fingerprint, kind="dse", observe="c")
+    job = client.wait(job["id"])
+    result = DesignSpaceResult.from_dict(job["result"])
+
+Server-side failures surface as :class:`~repro.exceptions
+.ServiceError` carrying the HTTP status; transport failures (server
+not running) surface as the underlying :class:`URLError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Mapping
+
+from repro.exceptions import ServiceError
+from repro.graph.graph import SDFGraph
+from repro.io.jsonio import graph_to_dict
+
+#: Job states after which polling stops.  ``partial`` is included: the
+#: budget is spent, so without a restart the state will not change.
+SETTLED_STATES = frozenset({"done", "partial", "failed", "cancelled"})
+
+
+class ServiceClient:
+    """Thin blocking wrapper over the service's JSON API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Mapping | None = None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace") or str(error)
+            raise ServiceError(message, status=error.code) from None
+        return json.loads(raw.decode("utf-8"))
+
+    # -- graphs -------------------------------------------------------------
+    def submit_graph(self, graph: SDFGraph | Mapping) -> str:
+        """Register *graph*; returns its content fingerprint."""
+        document = graph_to_dict(graph) if isinstance(graph, SDFGraph) else dict(graph)
+        return self._request("POST", "/graphs", document)["fingerprint"]
+
+    def graphs(self) -> list[str]:
+        return self._request("GET", "/graphs")["graphs"]
+
+    # -- jobs ---------------------------------------------------------------
+    def submit_job(
+        self,
+        graph: str | SDFGraph | Mapping,
+        *,
+        kind: str = "dse",
+        observe: str | None = None,
+        params: Mapping | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
+        max_probes: int | None = None,
+    ) -> dict:
+        """Submit a job; *graph* is a fingerprint, graph or document."""
+        if isinstance(graph, SDFGraph):
+            graph = graph_to_dict(graph)
+        payload: dict = {"graph": graph, "kind": kind}
+        if observe is not None:
+            payload["observe"] = observe
+        if params:
+            payload["params"] = dict(params)
+        if priority:
+            payload["priority"] = priority
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if max_probes is not None:
+            payload["max_probes"] = max_probes
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job settles (done / partial / failed /
+        cancelled); raises :class:`ServiceError` on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in SETTLED_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after {timeout}s", status=504
+                )
+            time.sleep(poll_s)
+
+    # -- observability ------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition of ``GET /metrics``."""
+        request = urllib.request.Request(f"{self.base_url}/metrics")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")

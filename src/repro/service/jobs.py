@@ -1,0 +1,501 @@
+"""Job manager: bounded priority queue, worker threads, durable store.
+
+One :class:`JobManager` owns every analysis the server runs.  Clients
+submit a :class:`JobSpec` (what to analyse); the manager queues it,
+executes it on a worker thread through the PR 1-3 machinery — a
+per-job :class:`~repro.buffers.evalcache.EvaluationService` carrying
+the job's budget and cancel token — and keeps the full job table
+observable over HTTP.
+
+**States.**  ``queued → running →`` one of
+
+* ``done`` — the analysis completed; ``result`` holds its payload
+  (for DSE jobs: exactly ``DesignSpaceResult.to_dict()``);
+* ``partial`` — a per-job budget (deadline / max probes) tripped;
+  ``result`` holds the exact partial front and a checkpoint file holds
+  the paid-for evaluations.  Partial jobs are *resumable*: a restarted
+  server re-enqueues them and the next leg replays the checkpoint for
+  free (deterministic-replay guarantee of :mod:`repro.runtime
+  .checkpoint`);
+* ``cancelled`` — a client issued ``DELETE /jobs/<id>``; an in-flight
+  DSE stops at the next probe boundary and keeps its exact partial
+  result;
+* ``failed`` — the analysis raised; ``error`` holds the message.
+
+A graceful shutdown (SIGTERM) cancels running jobs *without* marking
+them cancelled: they checkpoint and return to ``queued``, so the next
+server start continues them where the probes stopped.
+
+**Durability.**  Every state transition appends one JSON line to
+``<data_dir>/jobs.jsonl`` (last line per id wins).  Replaying the file
+at startup rebuilds the job table; non-terminal jobs are re-enqueued.
+
+**Memo sharing.**  Before a job runs, the graph's
+:class:`~repro.service.registry.MemoBank` for the observed actor is
+restored into its evaluation service; afterwards the service's export
+is absorbed back.  Identical graphs submitted by different clients
+therefore share every evaluation ever paid for.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.evalcache import EvaluationService
+from repro.buffers.explorer import explore_design_space, minimal_distribution_for_throughput
+from repro.exceptions import BudgetExhausted, ReproError, ServiceError
+from repro.runtime.budget import Budget, CancelToken
+from repro.runtime.config import ExplorationConfig
+from repro.runtime.telemetry import TelemetryEvent, TelemetryHub
+from collections.abc import Callable
+from repro.service.registry import GraphRegistry
+
+JOB_KINDS = ("throughput", "dse", "minimal-distribution")
+JOB_STATES = ("queued", "running", "done", "partial", "failed", "cancelled")
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What one job analyses — immutable, client-provided.
+
+    ``params`` carries the kind-specific inputs: ``capacities`` for
+    ``throughput`` jobs, ``throughput`` (a ``"p/q"`` string) for
+    ``minimal-distribution`` jobs, and optional ``strategy`` /
+    ``max_size`` for ``dse`` jobs.  ``priority`` orders the queue —
+    lower numbers run first, ties in submission order.
+    """
+
+    kind: str
+    fingerprint: str
+    observe: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    priority: int = 0
+    deadline_s: float | None = None
+    max_probes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+
+
+class Job:
+    """One queued/running/finished analysis (mutable server-side state)."""
+
+    def __init__(self, spec: JobSpec, job_id: str | None = None):
+        self.id = job_id if job_id is not None else uuid.uuid4().hex[:12]
+        self.spec = spec
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.exhausted: str | None = None
+        self.legs = 0
+        self.cancel = CancelToken()
+        self.cancel_requested = False
+
+    def to_dict(self) -> dict:
+        """The job as served by ``GET /jobs/<id>`` and stored as JSONL."""
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "graph": self.spec.fingerprint,
+            "observe": self.spec.observe,
+            "params": dict(self.spec.params),
+            "priority": self.spec.priority,
+            "deadline_s": self.spec.deadline_s,
+            "max_probes": self.spec.max_probes,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "legs": self.legs,
+            "exhausted": self.exhausted,
+            "error": self.error,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "Job":
+        """Rebuild a job from its last JSONL record (server restart)."""
+        spec = JobSpec(
+            kind=record["kind"],
+            fingerprint=record["graph"],
+            observe=record["observe"],
+            params=dict(record.get("params", {})),
+            priority=int(record.get("priority", 0)),
+            deadline_s=record.get("deadline_s"),
+            max_probes=record.get("max_probes"),
+        )
+        job = cls(spec, job_id=record["id"])
+        job.state = record.get("state", "queued")
+        job.submitted_at = record.get("submitted_at", job.submitted_at)
+        job.started_at = record.get("started_at")
+        job.finished_at = record.get("finished_at")
+        job.legs = int(record.get("legs", 0))
+        job.exhausted = record.get("exhausted")
+        job.error = record.get("error")
+        job.result = record.get("result")
+        return job
+
+
+class JobManager:
+    """Bounded queue + worker pool + durable JSONL job store.
+
+    Parameters
+    ----------
+    registry:
+        The server's :class:`~repro.service.registry.GraphRegistry`.
+    data_dir:
+        Durable state directory (``jobs.jsonl`` + per-job checkpoint
+        files).  ``None`` keeps everything in memory.
+    workers:
+        Number of worker *threads*.  Analyses are CPU-bound Python, so
+        this bounds concurrency fairness, not raw speed; per-probe
+        process fan-out stays available through the evaluation layer.
+    queue_size:
+        Maximum number of *queued* jobs; submissions beyond it are
+        rejected with HTTP 503 so clients back off instead of queueing
+        unbounded work.
+    engine:
+        Simulation-kernel selector handed to every job's config.
+    telemetry:
+        Server-wide :class:`~repro.runtime.telemetry.TelemetryHub`;
+        every finished job's hub is merged into it (``/metrics``).
+    """
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        data_dir: str | Path | None = None,
+        *,
+        workers: int = 1,
+        queue_size: int = 64,
+        engine: str = "auto",
+        telemetry: TelemetryHub | None = None,
+    ):
+        if workers < 1:
+            raise ServiceError("workers must be >= 1")
+        if queue_size < 1:
+            raise ServiceError("queue_size must be >= 1")
+        self.registry = registry
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
+        self.engine = engine
+        #: Optional ``(job, event)`` observer of every telemetry event of
+        #: every running job — live dashboards, deterministic tests.
+        self.probe_callback: Callable[[Job, TelemetryEvent], None] | None = None
+        self.queue_size = queue_size
+        self._cond = threading.Condition()
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = 0
+        self._jobs: dict[str, Job] = {}
+        self._closing = False
+        self._store_path: Path | None = None
+        self._checkpoint_dir: Path | None = None
+        if data_dir is not None:
+            base = Path(data_dir)
+            base.mkdir(parents=True, exist_ok=True)
+            self._store_path = base / "jobs.jsonl"
+            self._checkpoint_dir = base / "checkpoints"
+            self._checkpoint_dir.mkdir(exist_ok=True)
+            self._recover()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"repro-job-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission / lookup ------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue a new job; raises :class:`ServiceError` (503) when full."""
+        self.registry.get(spec.fingerprint)  # 404 on unknown graphs
+        job = Job(spec)
+        with self._cond:
+            if self._closing:
+                raise ServiceError("server is shutting down", status=503)
+            if self.queue_depth >= self.queue_size:
+                raise ServiceError(
+                    f"job queue is full ({self.queue_size} queued); retry later",
+                    status=503,
+                )
+            self._jobs[job.id] = job
+            self._push(job)
+            self._persist(job)
+            self.telemetry.emit("job_submitted", kind=spec.kind)
+            self._cond.notify()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._cond:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job {job_id!r}", status=404) from None
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, newest submission first."""
+        with self._cond:
+            return sorted(
+                self._jobs.values(), key=lambda job: job.submitted_at, reverse=True
+            )
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting for a worker (running jobs excluded)."""
+        return len(self._heap)
+
+    def states_count(self) -> dict[str, int]:
+        """``{state: number of jobs}`` over every known state."""
+        counts = {state: 0 for state in JOB_STATES}
+        with self._cond:
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return counts
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel *job_id*: queued jobs finish immediately, running jobs
+        stop at the next probe boundary keeping their partial result."""
+        with self._cond:
+            job = self.get(job_id)
+            if job.state in TERMINAL_STATES:
+                raise ServiceError(
+                    f"job {job_id} is already {job.state}", status=409
+                )
+            job.cancel_requested = True
+            job.cancel.cancel()
+            if job.state in ("queued", "partial"):
+                self._heap = [entry for entry in self._heap if entry[2] != job.id]
+                heapq.heapify(self._heap)
+                self._finalize(job, "cancelled")
+            # a running job transitions when its worker observes the token
+        return job
+
+    # -- shutdown -----------------------------------------------------------
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful stop: interrupt running jobs so they checkpoint and
+        return to ``queued``, then join the workers (idempotent)."""
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            for job in self._jobs.values():
+                if job.state == "running" and not job.cancel_requested:
+                    job.cancel.cancel()
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    # -- worker loop --------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._closing:
+                    self._cond.wait()
+                if self._closing:
+                    return
+                _, _, job_id = heapq.heappop(self._heap)
+                job = self._jobs[job_id]
+                if job.cancel_requested:
+                    self._finalize(job, "cancelled")
+                    continue
+                job.state = "running"
+                job.started_at = time.time()
+                job.legs += 1
+                self._persist(job)
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        try:
+            graph = self.registry.get(job.spec.fingerprint)
+            budget = Budget(
+                deadline_s=job.spec.deadline_s,
+                max_probes=job.spec.max_probes,
+                cancel=job.cancel,
+            )
+            def forward(event: TelemetryEvent, _job: Job = job) -> None:
+                callback = self.probe_callback
+                if callback is not None:
+                    callback(_job, event)
+
+            service = EvaluationService(
+                graph,
+                job.spec.observe,
+                config=ExplorationConfig(
+                    engine=self.engine, budget=budget, on_event=forward
+                ),
+            )
+            try:
+                bank = self.registry.bank(job.spec.fingerprint, job.spec.observe)
+                if len(bank):
+                    service.restore_state(bank.snapshot())
+                runner = {
+                    "dse": self._run_dse,
+                    "throughput": self._run_throughput,
+                    "minimal-distribution": self._run_minimal,
+                }[job.spec.kind]
+                runner(job, graph, service)
+            finally:
+                bank = self.registry.bank(job.spec.fingerprint, job.spec.observe)
+                bank.absorb(service.export_state())
+                self.telemetry.merge(service.telemetry)
+                service.close()
+        except BudgetExhausted as stop:
+            # Escapes only from non-DSE kinds (the explorer converts it
+            # into a partial result itself).
+            with self._cond:
+                job.exhausted = stop.reason
+                if job.cancel_requested:
+                    self._finalize(job, "cancelled")
+                elif stop.reason == "cancelled":
+                    self._requeue_interrupted(job)
+                else:
+                    self._finalize(job, "partial")
+        except ReproError as error:
+            with self._cond:
+                job.error = str(error)
+                self._finalize(job, "failed")
+        except Exception as error:  # noqa: BLE001 - a worker must never die
+            with self._cond:
+                job.error = f"internal error: {error!r}"
+                self._finalize(job, "failed")
+
+    def _run_dse(self, job: Job, graph, service: EvaluationService) -> None:
+        params = job.spec.params
+        checkpoint = self._checkpoint_path(job)
+        resume = (
+            str(checkpoint)
+            if checkpoint is not None and checkpoint.exists()
+            else None
+        )
+        result = explore_design_space(
+            graph,
+            job.spec.observe,
+            strategy=str(params.get("strategy", "dependency")),
+            max_size=params.get("max_size"),
+            config=ExplorationConfig(
+                evaluator=service,
+                checkpoint=checkpoint,
+            ),
+            resume=resume,
+        )
+        with self._cond:
+            job.result = result.to_dict()
+            job.exhausted = result.exhausted
+            if result.complete:
+                self._finalize(job, "done")
+            elif job.cancel_requested:
+                self._finalize(job, "cancelled")
+            elif result.exhausted == "cancelled":
+                self._requeue_interrupted(job)  # server-driven (shutdown)
+            else:
+                self._finalize(job, "partial")
+
+    def _run_throughput(self, job: Job, graph, service: EvaluationService) -> None:
+        capacities = job.spec.params.get("capacities")
+        if not isinstance(capacities, Mapping):
+            raise ServiceError(
+                "throughput jobs need params.capacities: {channel: int}"
+            )
+        distribution = StorageDistribution(
+            {name: int(cap) for name, cap in capacities.items()}
+        )
+        value = service(distribution)
+        with self._cond:
+            job.result = {
+                "throughput": str(value),
+                "throughput_float": float(value),
+                "deadlocked": value == 0,
+                "capacities": dict(distribution),
+            }
+            self._finalize(job, "done")
+
+    def _run_minimal(self, job: Job, graph, service: EvaluationService) -> None:
+        constraint = job.spec.params.get("throughput")
+        if constraint is None:
+            raise ServiceError(
+                'minimal-distribution jobs need params.throughput: "p/q"'
+            )
+        point = minimal_distribution_for_throughput(
+            graph,
+            Fraction(str(constraint)),
+            job.spec.observe,
+            config=ExplorationConfig(evaluator=service),
+        )
+        with self._cond:
+            if point is None:
+                job.result = {"found": False}
+            else:
+                job.result = {
+                    "found": True,
+                    "size": point.size,
+                    "throughput": str(point.throughput),
+                    "distribution": dict(point.distribution),
+                }
+            self._finalize(job, "done")
+
+    # -- state transitions (caller holds the lock) --------------------------
+    def _push(self, job: Job) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (job.spec.priority, self._seq, job.id))
+
+    def _finalize(self, job: Job, state: str) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        self._persist(job)
+        self.telemetry.emit("job_finished", kind=job.spec.kind, state=state)
+
+    def _requeue_interrupted(self, job: Job) -> None:
+        """A shutdown interrupted the job: back to ``queued`` with its
+        checkpoint on disk, so the next server run resumes it."""
+        job.state = "queued"
+        self._persist(job)
+        self.telemetry.emit("job_requeued", kind=job.spec.kind)
+
+    # -- durability ---------------------------------------------------------
+    def _checkpoint_path(self, job: Job) -> Path | None:
+        if self._checkpoint_dir is None:
+            return None
+        return self._checkpoint_dir / f"{job.id}.ckpt.json"
+
+    def _persist(self, job: Job) -> None:
+        if self._store_path is None:
+            return
+        with self._store_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(job.to_dict(), sort_keys=True) + "\n")
+
+    def _recover(self) -> None:
+        """Replay ``jobs.jsonl``; re-enqueue every non-terminal job."""
+        if self._store_path is None or not self._store_path.exists():
+            return
+        records: dict[str, dict] = {}
+        for line in self._store_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            records[record["id"]] = record
+        for record in records.values():
+            job = Job.from_dict(record)
+            self._jobs[job.id] = job
+            if job.state in TERMINAL_STATES:
+                continue
+            # queued, running and partial jobs all get another leg; DSE
+            # jobs find their checkpoint and replay it for free.
+            job.state = "queued"
+            self._push(job)
+            self._persist(job)
+            self.telemetry.emit("job_recovered", kind=job.spec.kind)

@@ -1,0 +1,142 @@
+"""Content-addressed graph registry with shared memo banks.
+
+The analysis server is multi-client: many clients may submit the same
+graph (the same pipeline template instantiated by every user of a
+product, say) and run overlapping analyses on it.  The registry makes
+that cheap:
+
+* graphs are stored under their **content fingerprint**
+  (:func:`repro.io.jsonio.graph_fingerprint`), so identical graphs —
+  whatever their display name or the order their actors were declared
+  in — share one entry;
+* each entry carries one :class:`MemoBank` per observed actor: the
+  union of every exact evaluation any job ever paid for on that graph.
+  A new job on a known graph starts with the bank pre-loaded into its
+  :class:`~repro.buffers.evalcache.EvaluationService`, so probes other
+  clients already ran are answered from memory.
+
+Graphs are persisted as plain JSON under ``<data_dir>/graphs/`` so a
+restarted server still resolves the fingerprints referenced by its
+persisted job store.  Banks are in-memory only — the durable copy of
+an interrupted job's evaluations is its checkpoint file (see
+:mod:`repro.service.jobs`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.exceptions import ServiceError
+from repro.graph.graph import SDFGraph
+from repro.io.jsonio import graph_fingerprint, graph_from_dict, graph_to_dict
+
+
+class MemoBank:
+    """The accumulated exact evaluations of one (graph, observe) pair.
+
+    Holds :meth:`~repro.buffers.evalcache.EvaluationService
+    .export_state`-shaped entries keyed by capacity vector.  Absorbing
+    a newer export never discards information: records carrying
+    blocking data win over thin ones, and the throughput ceiling is
+    kept once any job establishes it.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, ...], dict] = {}
+        self._ceiling: str | None = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def absorb(self, state: Mapping) -> None:
+        """Merge an ``export_state`` payload into the bank."""
+        if state.get("ceiling") is not None:
+            self._ceiling = state["ceiling"]
+        for entry in state.get("memo", ()):
+            key = tuple(int(cap) for cap in entry["caps"])
+            existing = self._entries.get(key)
+            if existing is not None and existing.get("blocked") is not None:
+                continue  # never replace a full record with a thinner one
+            self._entries[key] = dict(entry)
+
+    def snapshot(self) -> dict:
+        """A ``restore_state``-ready payload (stats intentionally absent,
+        so restoring never inflates a job's own counters)."""
+        return {
+            "ceiling": self._ceiling,
+            "memo": [dict(entry) for entry in self._entries.values()],
+        }
+
+
+class GraphRegistry:
+    """Thread-safe, content-addressed store of submitted graphs.
+
+    Parameters
+    ----------
+    data_dir:
+        Service data directory; graphs are persisted under
+        ``data_dir/graphs/<fingerprint>.json``.  ``None`` keeps the
+        registry purely in-memory (unit tests).
+    """
+
+    def __init__(self, data_dir: str | Path | None = None):
+        self._lock = threading.RLock()
+        self._graphs: dict[str, SDFGraph] = {}
+        self._banks: dict[tuple[str, str], MemoBank] = {}
+        self._dir: Path | None = None
+        if data_dir is not None:
+            self._dir = Path(data_dir) / "graphs"
+            self._dir.mkdir(parents=True, exist_ok=True)
+            for path in sorted(self._dir.glob("*.json")):
+                graph = graph_from_dict(json.loads(path.read_text(encoding="utf-8")))
+                self._graphs[path.stem] = graph
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._graphs)
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._graphs)
+
+    def add(self, graph: SDFGraph | Mapping) -> tuple[str, bool]:
+        """Register *graph* (an :class:`SDFGraph` or a JSON dict).
+
+        Returns ``(fingerprint, known)`` where *known* tells whether an
+        identical graph was already registered — in which case the
+        existing entry (and its warm memo banks) is kept.
+        """
+        if not isinstance(graph, SDFGraph):
+            graph = graph_from_dict(graph)
+        fingerprint = graph_fingerprint(graph)
+        with self._lock:
+            known = fingerprint in self._graphs
+            if not known:
+                self._graphs[fingerprint] = graph
+                if self._dir is not None:
+                    path = self._dir / f"{fingerprint}.json"
+                    path.write_text(
+                        json.dumps(graph_to_dict(graph), indent=2) + "\n",
+                        encoding="utf-8",
+                    )
+        return fingerprint, known
+
+    def get(self, fingerprint: str) -> SDFGraph:
+        """The graph stored under *fingerprint* (404 when unknown)."""
+        with self._lock:
+            try:
+                return self._graphs[fingerprint]
+            except KeyError:
+                raise ServiceError(
+                    f"unknown graph fingerprint {fingerprint!r}; POST the graph"
+                    " to /graphs first", status=404
+                ) from None
+
+    def bank(self, fingerprint: str, observe: str) -> MemoBank:
+        """The memo bank of (*fingerprint*, *observe*), created on demand."""
+        with self._lock:
+            self.get(fingerprint)  # validate the fingerprint
+            return self._banks.setdefault((fingerprint, observe), MemoBank())

@@ -5,7 +5,14 @@ import json
 import pytest
 
 from repro.exceptions import ParseError
-from repro.io.jsonio import graph_from_dict, graph_to_dict, read_json, write_json
+from repro.graph.builder import GraphBuilder
+from repro.io.jsonio import (
+    graph_fingerprint,
+    graph_from_dict,
+    graph_to_dict,
+    read_json,
+    write_json,
+)
 
 
 class TestDictRoundtrip:
@@ -55,3 +62,56 @@ class TestFileRoundtrip:
         path.write_text("{not json")
         with pytest.raises(ParseError, match="malformed JSON"):
             read_json(path)
+
+
+def _two_actor_graph(name="g", *, exec_a=1, exec_b=2, production=2, consumption=3, tokens=0):
+    return (
+        GraphBuilder(name)
+        .actor("a", exec_a)
+        .actor("b", exec_b)
+        .channel("a", "b", production, consumption, initial_tokens=tokens, name="alpha")
+        .build()
+    )
+
+
+class TestGraphFingerprint:
+    def test_stable_hex_digest(self, fig1):
+        fingerprint = graph_fingerprint(fig1)
+        assert len(fingerprint) == 64
+        assert fingerprint == graph_fingerprint(fig1)
+
+    def test_invariant_under_insertion_order(self):
+        forward = (
+            GraphBuilder("order")
+            .actor("a", 1)
+            .actor("b", 2)
+            .actor("c", 3)
+            .channel("a", "b", 2, 3, name="alpha")
+            .channel("b", "c", 1, 2, name="beta")
+            .build()
+        )
+        backward = (
+            GraphBuilder("order")
+            .actor("c", 3)
+            .actor("b", 2)
+            .actor("a", 1)
+            .channel("b", "c", 1, 2, name="beta")
+            .channel("a", "b", 2, 3, name="alpha")
+            .build()
+        )
+        assert graph_fingerprint(forward) == graph_fingerprint(backward)
+
+    def test_display_name_is_excluded(self):
+        assert graph_fingerprint(_two_actor_graph("one")) == graph_fingerprint(
+            _two_actor_graph("two")
+        )
+
+    def test_collides_on_no_difference_only(self):
+        base = graph_fingerprint(_two_actor_graph())
+        assert graph_fingerprint(_two_actor_graph(exec_b=3)) != base
+        assert graph_fingerprint(_two_actor_graph(production=3)) != base
+        assert graph_fingerprint(_two_actor_graph(consumption=4)) != base
+        assert graph_fingerprint(_two_actor_graph(tokens=1)) != base
+
+    def test_survives_json_roundtrip(self, fig1):
+        assert graph_fingerprint(graph_from_dict(graph_to_dict(fig1))) == graph_fingerprint(fig1)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.runtime.telemetry import KNOWN_EVENTS, TelemetryEvent, TelemetryHub
+from repro.runtime.telemetry import (
+    KNOWN_EVENTS,
+    TelemetryEvent,
+    TelemetryHub,
+    to_prometheus,
+)
 
 
 class FakeClock:
@@ -91,3 +96,96 @@ class TestTelemetryHub:
     def test_known_events_documented(self):
         for name in ("probe_start", "pool_restart", "budget_exhausted", "checkpoint_saved"):
             assert name in KNOWN_EVENTS
+
+
+class TestMerge:
+    def test_counters_fold_additively(self):
+        server, job = TelemetryHub(), TelemetryHub()
+        server.emit("probe_finish")
+        job.emit("probe_finish")
+        job.emit("probe_finish")
+        job.emit("cache_hit")
+        assert server.merge(job) is server
+        assert server.counters == {"probe_finish": 3, "cache_hit": 1}
+
+    def test_timers_fold_count_and_total(self):
+        server, job = TelemetryHub(), TelemetryHub()
+        server.record_time("probe", 0.5)
+        job.record_time("probe", 0.25)
+        job.record_time("probe", 0.25)
+        job.record_time("startup", 1.0)
+        server.merge(job)
+        assert server.timers["probe"]["count"] == 3
+        assert server.timers["probe"]["total_s"] == pytest.approx(1.0)
+        assert server.timers["startup"]["count"] == 1
+
+    def test_merge_accepts_snapshot_payloads(self):
+        job = TelemetryHub()
+        job.emit("prune")
+        job.record_time("probe", 2.0)
+        server = TelemetryHub()
+        server.merge(job.snapshot())
+        assert server.counters == {"prune": 1}
+        assert server.timers["probe"] == {"count": 1, "total_s": 2.0}
+
+    def test_merge_does_not_mutate_source(self):
+        server, job = TelemetryHub(), TelemetryHub()
+        job.emit("cache_hit")
+        server.merge(job)
+        server.merge(job)  # aggregating twice doubles the server only
+        assert job.counters == {"cache_hit": 1}
+        assert server.counters == {"cache_hit": 2}
+
+
+class TestToPrometheus:
+    def test_counters_render_as_labelled_family(self):
+        hub = TelemetryHub()
+        hub.emit("probe_finish")
+        hub.emit("probe_finish")
+        text = to_prometheus(hub)
+        assert "# TYPE repro_events_total counter" in text
+        assert 'repro_events_total{event="probe_finish"} 2' in text
+
+    def test_timers_render_summary_count_and_sum(self):
+        hub = TelemetryHub()
+        hub.record_time("probe", 0.5)
+        hub.record_time("probe", 1.5)
+        text = to_prometheus(hub)
+        assert 'repro_timer_seconds_count{timer="probe"} 2' in text
+        assert 'repro_timer_seconds_sum{timer="probe"} 2.0' in text
+
+    def test_uptime_and_trailing_newline(self):
+        clock = FakeClock()
+        hub = TelemetryHub(clock=clock)
+        clock.advance(4.0)
+        text = to_prometheus(hub)
+        assert "repro_uptime_seconds 4.0" in text
+        assert text.endswith("\n")
+
+    def test_extra_gauges_with_labels(self):
+        hub = TelemetryHub()
+        text = to_prometheus(
+            hub,
+            gauges=[
+                ("queue_depth", {}, 3.0),
+                ("jobs", {"state": "queued"}, 2.0),
+                ("jobs", {"state": "done"}, 5.0),
+            ],
+        )
+        assert "repro_queue_depth 3.0" in text
+        assert 'repro_jobs{state="queued"} 2.0' in text
+        assert 'repro_jobs{state="done"} 5.0' in text
+        assert text.count("# TYPE repro_jobs gauge") == 1
+
+    def test_label_values_escaped(self):
+        hub = TelemetryHub()
+        hub.emit('weird"name\nwith\\escapes')
+        text = to_prometheus(hub)
+        assert 'event="weird\\"name\\nwith\\\\escapes"' in text
+
+    def test_exposition_lines_well_formed(self):
+        hub = TelemetryHub()
+        hub.emit("probe_start")
+        hub.record_time("probe", 0.1)
+        for line in to_prometheus(hub).splitlines():
+            assert line.startswith("#") or " " in line  # sample lines: name value

@@ -1,0 +1,326 @@
+"""Unit tests for the job manager: queueing, execution, cancellation."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.buffers.explorer import DesignSpaceResult, explore_design_space
+from repro.exceptions import ServiceError
+from repro.service.jobs import JOB_KINDS, Job, JobManager, JobSpec
+from repro.service.registry import GraphRegistry
+
+
+def wait_for(predicate, timeout=20.0, step=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(step)
+    raise AssertionError("condition not reached within timeout")
+
+
+def make_manager(fig1, **kwargs):
+    registry = GraphRegistry()
+    fingerprint, _ = registry.add(fig1)
+    manager = JobManager(registry, **kwargs)
+    return manager, fingerprint
+
+
+class Gate:
+    """Blocks the (single) worker inside its first probe until opened."""
+
+    def __init__(self, manager):
+        self.open = threading.Event()
+        self.entered = threading.Event()
+        manager.probe_callback = self._on_event
+
+    def _on_event(self, job, event):
+        if event.name == "probe_start" and not self.open.is_set():
+            self.entered.set()
+            self.open.wait(timeout=20.0)
+
+
+class TestSubmission:
+    def test_dse_job_matches_direct_exploration(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            job = manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            wait_for(lambda: job.state == "done")
+            direct = explore_design_space(fig1, "c")
+            served = DesignSpaceResult.from_dict(job.result)
+            assert served.front == direct.front
+            assert job.result["stats"]["evaluations"] == direct.stats.evaluations == 9
+        finally:
+            manager.drain()
+
+    def test_throughput_job(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            job = manager.submit(
+                JobSpec(
+                    kind="throughput",
+                    fingerprint=fingerprint,
+                    observe="c",
+                    params={"capacities": {"alpha": 4, "beta": 2}},
+                )
+            )
+            wait_for(lambda: job.state == "done")
+            assert job.result["throughput"] == "1/7"
+            assert not job.result["deadlocked"]
+        finally:
+            manager.drain()
+
+    def test_minimal_distribution_job(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            job = manager.submit(
+                JobSpec(
+                    kind="minimal-distribution",
+                    fingerprint=fingerprint,
+                    observe="c",
+                    params={"throughput": "1/5"},
+                )
+            )
+            wait_for(lambda: job.state == "done")
+            assert job.result["found"]
+            assert job.result["size"] == 9
+        finally:
+            manager.drain()
+
+    def test_unknown_kind_rejected(self, fig1):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            JobSpec(kind="mystery", fingerprint="f", observe="c")
+        assert "mystery" not in JOB_KINDS
+
+    def test_unknown_graph_is_404(self, fig1):
+        manager, _ = make_manager(fig1)
+        try:
+            with pytest.raises(ServiceError) as caught:
+                manager.submit(JobSpec(kind="dse", fingerprint="nope", observe="c"))
+            assert caught.value.status == 404
+        finally:
+            manager.drain()
+
+    def test_failed_job_carries_error(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            job = manager.submit(
+                JobSpec(kind="throughput", fingerprint=fingerprint, observe="c", params={})
+            )
+            wait_for(lambda: job.state == "failed")
+            assert "capacities" in job.error
+        finally:
+            manager.drain()
+
+
+class TestQueueDiscipline:
+    def test_priority_orders_execution(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        gate = Gate(manager)
+        try:
+            blocker = manager.submit(
+                JobSpec(kind="dse", fingerprint=fingerprint, observe="c")
+            )
+            gate.entered.wait(timeout=20.0)
+            low = manager.submit(
+                JobSpec(kind="dse", fingerprint=fingerprint, observe="c", priority=5)
+            )
+            high = manager.submit(
+                JobSpec(kind="dse", fingerprint=fingerprint, observe="c", priority=-5)
+            )
+            gate.open.set()
+            for job in (blocker, low, high):
+                wait_for(lambda job=job: job.state == "done")
+            assert high.started_at < low.started_at
+        finally:
+            manager.drain()
+
+    def test_queue_full_is_503(self, fig1):
+        manager, fingerprint = make_manager(fig1, queue_size=1)
+        gate = Gate(manager)
+        try:
+            manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            gate.entered.wait(timeout=20.0)  # worker busy, queue now empty
+            manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            with pytest.raises(ServiceError) as caught:
+                manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            assert caught.value.status == 503
+            assert "queue is full" in str(caught.value)
+        finally:
+            gate.open.set()
+            manager.drain()
+
+    def test_states_count_covers_every_state(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            job = manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            wait_for(lambda: job.state == "done")
+            counts = manager.states_count()
+            assert counts["done"] == 1
+            assert set(counts) == {"queued", "running", "done", "partial", "failed", "cancelled"}
+        finally:
+            manager.drain()
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        gate = Gate(manager)
+        try:
+            manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            gate.entered.wait(timeout=20.0)
+            queued = manager.submit(
+                JobSpec(kind="dse", fingerprint=fingerprint, observe="c")
+            )
+            manager.cancel(queued.id)
+            assert queued.state == "cancelled"
+            assert manager.queue_depth == 0
+        finally:
+            gate.open.set()
+            manager.drain()
+
+    def test_cancel_running_dse_keeps_partial_result(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        cancelled_from = []
+
+        def cancel_after_first_probe(job, event):
+            if event.name == "probe_finish" and not cancelled_from:
+                cancelled_from.append(event.name)
+                manager.cancel(job.id)
+
+        manager.probe_callback = cancel_after_first_probe
+        try:
+            job = manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            wait_for(lambda: job.state == "cancelled")
+            assert job.cancel_requested
+            assert job.result is not None
+            partial = DesignSpaceResult.from_dict(job.result)
+            assert not partial.complete
+            assert partial.exhausted == "cancelled"
+            assert job.result["stats"]["evaluations"] < 9
+        finally:
+            manager.drain()
+
+    def test_cancel_terminal_job_is_409(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            job = manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            wait_for(lambda: job.state == "done")
+            with pytest.raises(ServiceError) as caught:
+                manager.cancel(job.id)
+            assert caught.value.status == 409
+        finally:
+            manager.drain()
+
+    def test_unknown_job_is_404(self, fig1):
+        manager, _ = make_manager(fig1)
+        try:
+            with pytest.raises(ServiceError) as caught:
+                manager.get("absent")
+            assert caught.value.status == 404
+        finally:
+            manager.drain()
+
+
+class TestBudgets:
+    def test_probe_budget_yields_partial_with_checkpointless_result(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            job = manager.submit(
+                JobSpec(kind="dse", fingerprint=fingerprint, observe="c", max_probes=3)
+            )
+            wait_for(lambda: job.state == "partial")
+            assert job.exhausted == "probes"
+            partial = DesignSpaceResult.from_dict(job.result)
+            assert not partial.complete
+            assert job.result["stats"]["evaluations"] <= 3
+        finally:
+            manager.drain()
+
+
+class TestMemoSharing:
+    def test_second_identical_job_pays_zero_evaluations(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            first = manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            wait_for(lambda: first.state == "done")
+            assert first.result["stats"]["evaluations"] == 9
+
+            second = manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            wait_for(lambda: second.state == "done")
+            assert second.result["stats"]["evaluations"] == 0
+            assert second.result["stats"]["cache_hits"] >= 9
+            assert second.result["pareto_front"] == first.result["pareto_front"]
+        finally:
+            manager.drain()
+
+    def test_dse_warms_the_bank_for_throughput_queries(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        try:
+            dse = manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+            wait_for(lambda: dse.state == "done")
+            before = dict(manager.telemetry.counters)
+
+            probe = manager.submit(
+                JobSpec(
+                    kind="throughput",
+                    fingerprint=fingerprint,
+                    observe="c",
+                    params={"capacities": {"alpha": 4, "beta": 2}},
+                )
+            )
+            wait_for(lambda: probe.state == "done")
+            after = manager.telemetry.counters
+            assert probe.result["throughput"] == "1/7"
+            # served straight from the shared memo bank: no new probe ran
+            assert after.get("probe_start", 0) == before.get("probe_start", 0)
+            assert after.get("cache_hit", 0) == before.get("cache_hit", 0) + 1
+        finally:
+            manager.drain()
+
+
+class TestDurability:
+    def test_jsonl_store_replays_on_restart(self, tmp_path, fig1):
+        registry = GraphRegistry(tmp_path)
+        fingerprint, _ = registry.add(fig1)
+        manager = JobManager(registry, tmp_path)
+        job = manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+        wait_for(lambda: job.state == "done")
+        manager.drain()
+
+        lines = (tmp_path / "jobs.jsonl").read_text().strip().splitlines()
+        assert len(lines) >= 3  # queued, running, done
+        assert json.loads(lines[-1])["state"] == "done"
+
+        reborn = JobManager(GraphRegistry(tmp_path), tmp_path)
+        try:
+            recovered = reborn.get(job.id)
+            assert recovered.state == "done"  # terminal jobs are not re-run
+            assert recovered.result == job.result
+        finally:
+            reborn.drain()
+
+    def test_hand_written_queued_record_is_executed(self, tmp_path, fig1):
+        registry = GraphRegistry(tmp_path)
+        fingerprint, _ = registry.add(fig1)
+        record = Job(
+            JobSpec(kind="dse", fingerprint=fingerprint, observe="c"), job_id="abc123"
+        ).to_dict()
+        (tmp_path / "jobs.jsonl").write_text(json.dumps(record) + "\n")
+
+        manager = JobManager(GraphRegistry(tmp_path), tmp_path)
+        try:
+            job = manager.get("abc123")
+            wait_for(lambda: job.state == "done")
+            assert job.result["stats"]["evaluations"] == 9
+        finally:
+            manager.drain()
+
+    def test_submit_after_drain_is_503(self, fig1):
+        manager, fingerprint = make_manager(fig1)
+        manager.drain()
+        with pytest.raises(ServiceError) as caught:
+            manager.submit(JobSpec(kind="dse", fingerprint=fingerprint, observe="c"))
+        assert caught.value.status == 503
