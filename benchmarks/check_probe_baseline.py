@@ -1,0 +1,79 @@
+"""CI gate: the probe-avoidance engine must not regress.
+
+Re-runs the bounds-on divide exploration of one case study (modem by
+default — the workload the PR 5 acceptance criterion is phrased
+against) and compares its simulation count with the committed
+``BENCH_probe_oracle.json`` baseline.  The serial bounds-on scan is
+deterministic, so the comparison is exact: a single extra simulation
+fails the gate, pointing at an oracle cut or walk-order regression
+long before wall-clock noise would.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_probe_baseline.py \
+        --baseline BENCH_probe_oracle.json --graph modem
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from bench_probe_oracle import GALLERY, SLACKS, _explore, _front_fingerprint
+from repro.buffers.bounds import lower_bound_distribution
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="BENCH_probe_oracle.json", help="committed benchmark report"
+    )
+    parser.add_argument(
+        "--graph", default="modem", choices=sorted(GALLERY), help="case study to re-run"
+    )
+    arguments = parser.parse_args(argv)
+
+    baseline = json.loads(Path(arguments.baseline).read_text(encoding="utf-8"))
+    entry = baseline["graphs"][arguments.graph]
+    graph = GALLERY[arguments.graph]()
+    max_size = lower_bound_distribution(graph).size + SLACKS[arguments.graph]
+    if max_size != entry["max_size"]:
+        print(
+            f"FAIL: workload drifted — max_size {max_size} vs baseline"
+            f" {entry['max_size']}; re-record the baseline",
+            file=sys.stderr,
+        )
+        return 1
+
+    on = _explore(graph, max_size, bounds=True)
+    off_front = _front_fingerprint(_explore(graph, max_size, bounds=False))
+    if _front_fingerprint(on) != off_front:
+        print("FAIL: bounds-on front differs from bounds-off front", file=sys.stderr)
+        return 1
+
+    recorded = entry["evaluations_on"]
+    fresh = on.stats.evaluations
+    print(
+        f"{arguments.graph}: {fresh} simulations with the oracle on"
+        f" (baseline {recorded}, oracle off {entry['evaluations_off']})"
+    )
+    if fresh > recorded:
+        print(
+            f"FAIL: {fresh} > baseline {recorded} — the probe-avoidance"
+            " engine regressed (or the workload changed: re-record the"
+            " baseline deliberately)",
+            file=sys.stderr,
+        )
+        return 1
+    if fresh < recorded:
+        print(
+            f"note: improved to {fresh} < baseline {recorded}; consider"
+            " re-recording the baseline to lock in the gain"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

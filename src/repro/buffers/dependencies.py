@@ -202,6 +202,14 @@ def dependency_sweep(
                 queued.discard(distribution)
 
             if service.workers > 1 and len(batch) > 1:
+                if getattr(service, "speculate_enabled", False) and heap:
+                    # The cheapest queued successors are very likely the
+                    # next batch; let idle workers warm them while this
+                    # batch occupies the demand path.
+                    service.speculate(
+                        entry[2]
+                        for entry in heapq.nsmallest(4 * service.workers, heap)
+                    )
                 records = service.evaluate_blocking_many(batch, reached)
             else:
                 records = None  # evaluate lazily, preserving serial early exits

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Mapping
 
+from repro.buffers.shared import dominates
 from repro.exceptions import CapacityError
 from repro.graph.graph import SDFGraph
 
@@ -81,7 +82,8 @@ class StorageDistribution(Mapping[str, int]):
         """Pointwise ``>=`` on a common channel set."""
         if set(self) != set(other):
             raise CapacityError("distributions cover different channel sets")
-        return all(self[name] >= other[name] for name in self)
+        names = list(self)
+        return dominates([self[name] for name in names], [other[name] for name in names])
 
     # -- Exploration helpers ---------------------------------------------
     def with_capacity(self, name: str, capacity: int) -> "StorageDistribution":

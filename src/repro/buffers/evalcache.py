@@ -31,7 +31,23 @@ exploited, both *exact*:
 The witnesses backing the prunes are kept as small antichains (minimal
 ceiling-reaching vectors, maximal deadlocked vectors) with a bounded
 length, so prune checks stay cheap; eviction only loses prune
-opportunities, never exactness.
+opportunities, never exactness.  Both rules are the extreme levels of
+the :class:`~repro.buffers.oracle.ThroughputBoundsOracle` the service
+indexes every record into; with ``config.bounds`` enabled the full
+oracle additionally answers any query whose interval closes
+(``bounds_exact``) and cuts scan candidates whose upper bound cannot
+matter (``bounds_cut`` via :meth:`EvaluationService.cuts_below`) —
+still exact, still front-identical.
+
+**Speculative probing.**  With ``config.speculate`` and ``workers >
+1``, strategies wish for predicted future probes via
+:meth:`EvaluationService.speculate`; idle pool workers evaluate them
+in the background and the results are absorbed into the memo cache
+(and the oracle) before each batch resolution.  Speculative records
+are produced by the same worker entry point as demand-driven pooled
+probes, so they are bit-identical; a demand miss whose vector is still
+in flight waits on that future instead of re-executing.  Budget-wise a
+speculative probe is only charged when a demand query consumes it.
 
 **Parallel probing.**  Batch queries (``evaluate_many`` /
 ``evaluate_blocking_many``) resolve what the cache can answer and fan
@@ -66,7 +82,9 @@ from typing import Callable, NamedTuple
 from collections.abc import Iterable, Mapping, Sequence
 
 from repro.buffers.distribution import StorageDistribution
+from repro.buffers.oracle import ThroughputBoundsOracle
 from repro.buffers.search import SearchStats
+from repro.buffers.shared import dominates as _dominates
 from repro.engine.executor import Executor
 from repro.engine.fastcore import ENGINES, FastKernel, kernel_for
 from repro.engine.parallel import ParallelProber, RawEvaluation
@@ -99,11 +117,26 @@ class EvalStats(SearchStats):
     fast_runs: int = 0
     pool_restarts: int = 0
     pool_fallback_reason: str | None = None
+    #: Queries answered exactly by a closed oracle interval (lo == hi,
+    #: strictly between deadlock and ceiling — those two classify as
+    #: prunes_subset / prunes_superset as before).
+    bounds_exact: int = 0
+    #: Scan candidates skipped because their oracle upper bound proved
+    #: they cannot beat the running best / threshold (work avoided
+    #: without even a synthesized record).
+    bounds_cut: int = 0
+    speculative_issued: int = 0
+    speculative_useful: int = 0
 
     @property
     def prunes(self) -> int:
         """Total queries answered by monotonicity pruning."""
-        return self.prunes_superset + self.prunes_subset
+        return self.prunes_superset + self.prunes_subset + self.bounds_exact
+
+    @property
+    def speculative_wasted(self) -> int:
+        """Speculative probes issued but never consumed by a demand query."""
+        return max(0, self.speculative_issued - self.speculative_useful)
 
 
 class EvaluationRecord(NamedTuple):
@@ -123,10 +156,6 @@ class EvaluationRecord(NamedTuple):
     @property
     def has_blocking(self) -> bool:
         return self.space_blocked is not None
-
-
-def _dominates(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
-    return all(x >= y for x, y in zip(a, b))
 
 
 class EvaluationService:
@@ -198,11 +227,20 @@ class EvaluationService:
         self.stats.workers = self.workers
         self._order = graph.channel_names
         self._memo: dict[tuple[int, ...], EvaluationRecord] = {}
-        # Antichains of (total size, capacity vector) pairs; the size is
-        # a cheap dominance pre-filter.
-        self._ceiling_front: list[tuple[int, tuple[int, ...]]] = []
-        self._deadlock_front: list[tuple[int, tuple[int, ...]]] = []
         self._prune_limit = max(1, prune_limit)
+        # The dominance lattice over every recorded evaluation.  Its
+        # extreme levels *are* the legacy prune antichains (minimal
+        # ceiling-reaching vectors, maximal deadlocked vectors), so it
+        # is maintained unconditionally; config.bounds only widens
+        # which levels queries may consult.
+        self._oracle = ThroughputBoundsOracle(limit=self._prune_limit, ceiling=ceiling)
+        self.bounds_enabled = bool(config.bounds) and self.cache_enabled
+        self.speculate_enabled = (
+            bool(config.speculate) and self.cache_enabled and self.workers > 1
+        )
+        # Vectors whose memo entry came from a speculative probe and has
+        # not yet been consumed by a demand query (wasted-work tracking).
+        self._spec_origin: set[tuple[int, ...]] = set()
         self._prober: ParallelProber | None = None
 
     # -- canonical keys ---------------------------------------------------
@@ -218,10 +256,30 @@ class EvaluationService:
     def __call__(self, distribution: StorageDistribution) -> Fraction:
         """Exact throughput of *distribution* (0 on deadlock)."""
         vector = self._vector(distribution)
+        if self.speculate_enabled:
+            self._harvest_speculation()
         record = self._lookup(vector) or self._prune(distribution, vector)
+        if record is None:
+            record = self._claim_speculative(distribution, vector)
         if record is None:
             record = self._execute(distribution, vector, blocking=False)
         return record.throughput
+
+    def cached_throughput(self, distribution: StorageDistribution) -> Fraction | None:
+        """Memoised throughput of *distribution*, or ``None`` — never
+        evaluates.
+
+        The ascending walk peeks before deciding how to settle a
+        candidate: a memoised one is a free exact answer and needs
+        neither a cut check nor a promotion.  Accounting matches
+        :meth:`__call__` on a hit (cache-hit counter, speculative
+        consumption), so enabling the walk changes no hit statistics.
+        """
+        vector = self._vector(distribution)
+        if self.speculate_enabled:
+            self._harvest_speculation()
+        record = self._lookup(vector)
+        return None if record is None else record.throughput
 
     def evaluate_many(self, distributions: Sequence[StorageDistribution]) -> list[Fraction]:
         """Throughputs of a batch of independent distributions.
@@ -270,6 +328,8 @@ class EvaluationService:
                 return True
             return reached is not None and reached(record.throughput)
 
+        if self.speculate_enabled:
+            self._harvest_speculation()
         records: list[EvaluationRecord | None] = [None] * len(distributions)
         misses: list[tuple[int, StorageDistribution, tuple[int, ...]]] = []
         for index, distribution in enumerate(distributions):
@@ -291,6 +351,13 @@ class EvaluationService:
                     if pruned is not None and usable(pruned):
                         records[index] = pruned
                         continue
+            # A speculative future for this vector carries full blocking
+            # information (same worker entry point as pooled probes), so
+            # claiming it satisfies any caller.
+            claimed = self._claim_speculative(distribution, vector)
+            if claimed is not None and usable(claimed):
+                records[index] = claimed
+                continue
             misses.append((index, distribution, vector))
 
         if misses:
@@ -323,6 +390,11 @@ class EvaluationService:
         if record is not None:
             self.stats.cache_hits += 1
             self.telemetry.emit("cache_hit", size=sum(vector))
+            if vector in self._spec_origin:
+                # First demand consumption of a speculative result.
+                self._spec_origin.discard(vector)
+                self.stats.speculative_useful += 1
+                self.telemetry.emit("speculative_useful", size=sum(vector))
         return record
 
     def _prune(
@@ -334,23 +406,58 @@ class EvaluationService:
         if not self.cache_enabled:
             return None
         total = sum(vector)
-        if self.ceiling is not None:
-            for witness_total, witness in self._ceiling_front:
-                if witness_total <= total and _dominates(vector, witness):
-                    self.stats.prunes_superset += 1
-                    self.telemetry.emit("prune", kind="ceiling", size=total)
-                    return self._store(
-                        vector, EvaluationRecord(distribution, self.ceiling, 0, None, None)
-                    )
+        if self.ceiling is not None and self._oracle.floor_reaches(
+            self.ceiling, vector, total
+        ):
+            self.stats.prunes_superset += 1
+            self.telemetry.emit("prune", kind="ceiling", size=total)
+            return self._store(
+                vector, EvaluationRecord(distribution, self.ceiling, 0, None, None)
+            )
         if allow_subset:
-            for witness_total, witness in self._deadlock_front:
-                if witness_total >= total and _dominates(witness, vector):
-                    self.stats.prunes_subset += 1
-                    self.telemetry.emit("prune", kind="deadlock", size=total)
+            if self._oracle.ceil_covers(Fraction(0), vector, total):
+                self.stats.prunes_subset += 1
+                self.telemetry.emit("prune", kind="deadlock", size=total)
+                return self._store(
+                    vector, EvaluationRecord(distribution, Fraction(0), 0, None, None)
+                )
+            if self.bounds_enabled:
+                low, high = self._oracle.interval(vector, total)
+                if high is not None and low == high and low > 0:
+                    self.stats.bounds_exact += 1
+                    self.telemetry.emit("bounds_exact", size=total, throughput=str(low))
                     return self._store(
-                        vector, EvaluationRecord(distribution, Fraction(0), 0, None, None)
+                        vector, EvaluationRecord(distribution, low, 0, None, None)
                     )
         return None
+
+    def cuts_below(
+        self, distribution: StorageDistribution, bound: Fraction, strict: bool = True
+    ) -> bool:
+        """Whether *distribution* provably has throughput below *bound*.
+
+        Scan loops use this to skip candidates that cannot improve on a
+        running best (``max_throughput_for_size``) or reach a threshold
+        (``threshold_scan``).  Only an oracle *upper* bound strictly
+        below *bound* answers ``True``, so a cut never drops a would-be
+        witness: ties (throughput exactly equal to the running best)
+        are never cut.  With ``strict=False`` the test is ``<= bound``
+        — the ascending walk's cut against the previous size's exact
+        maximum, where a tie is dominated by the smaller size's witness
+        and so still cannot matter.  Cut distributions are not stored
+        in the memo — they are indistinguishable from never having been
+        scanned, which keeps budget-interrupted partial results exact.
+        """
+        if not self.bounds_enabled or (bound <= 0 if strict else bound < 0):
+            return False
+        vector = self._vector(distribution)
+        if vector in self._memo:
+            return False  # a real record answers cheaper and counts as a hit
+        if self._oracle.upper_below(vector, bound, strict):
+            self.stats.bounds_cut += 1
+            self.telemetry.emit("bounds_cut", size=sum(vector))
+            return True
+        return False
 
     def _execute(
         self,
@@ -420,42 +527,96 @@ class EvaluationService:
             # Never replace a full record with a thinner one.
             return existing
         self._memo[vector] = record
-        if record.throughput == 0:
-            self._note_deadlock(vector)
-        elif self.ceiling is not None and record.throughput == self.ceiling:
-            self._note_ceiling(vector)
+        if existing is None:
+            # Overwrites (thin record upgraded with blocking data) carry
+            # the same throughput, so only first insertions are indexed.
+            self._oracle.observe(vector, record.throughput)
         return record
 
-    def _note_ceiling(self, vector: tuple[int, ...]) -> None:
-        front = self._ceiling_front
-        total = sum(vector)
-        if any(t <= total and _dominates(vector, w) for t, w in front):
-            return  # an existing witness already answers everything this one would
-        front[:] = [(t, w) for t, w in front if not (t >= total and _dominates(w, vector))]
-        front.append((total, vector))
-        del front[: -self._prune_limit]
+    # -- speculative probing -------------------------------------------------
+    def speculate(self, distributions: Iterable[StorageDistribution]) -> int:
+        """Wish for probes the caller predicts it will need soon.
 
-    def _note_deadlock(self, vector: tuple[int, ...]) -> None:
-        front = self._deadlock_front
-        total = sum(vector)
-        if any(t >= total and _dominates(w, vector) for t, w in front):
+        Unmemoised distributions are submitted fire-and-forget to idle
+        pool workers; returns how many were actually issued.  A no-op
+        unless ``config.speculate`` is set, the cache is on and the
+        pool is healthy — strategies may call this unconditionally.
+        """
+        if not self.speculate_enabled:
+            return 0
+        prober = self._ensure_prober()
+        if not prober.parallel:
+            return 0
+        pending = []
+        for distribution in distributions:
+            if self._vector(distribution) not in self._memo:
+                pending.append(dict(distribution))
+        if not pending:
+            return 0
+        issued = prober.speculate(pending)
+        if issued:
+            self.stats.speculative_issued += issued
+            for _ in range(issued):
+                self.telemetry.emit("speculative_issued")
+        return issued
+
+    def _harvest_speculation(self) -> None:
+        """Absorb completed speculative probes into the memo/oracle.
+
+        Harvested records do not count as evaluations and are not
+        charged against the budget — that happens only when a demand
+        query consumes one (:meth:`_lookup` / :meth:`_claim_speculative`).
+        """
+        if not self.speculate_enabled or self._prober is None:
             return
-        front[:] = [(t, w) for t, w in front if not (t <= total and _dominates(vector, w))]
-        front.append((total, vector))
-        del front[: -self._prune_limit]
+        for item, raw in self._prober.harvest():
+            caps = dict(item)
+            vector = self._vector(caps)
+            if vector in self._memo:
+                continue
+            throughput, states_stored, blocked, deficits = raw
+            self.stats.max_states_stored = max(self.stats.max_states_stored, states_stored)
+            record = EvaluationRecord(
+                StorageDistribution(caps),
+                throughput,
+                states_stored,
+                frozenset(blocked),
+                dict(deficits),
+            )
+            self._store(vector, record)
+            self._spec_origin.add(vector)
+
+    def _claim_speculative(
+        self, distribution: StorageDistribution, vector: tuple[int, ...]
+    ) -> EvaluationRecord | None:
+        """Consume an in-flight speculative probe of *vector*, if any.
+
+        The probe becomes a regular evaluation at this point: it is
+        charged against the budget and counted, exactly as if the demand
+        path had executed it (which it otherwise would — a claimed probe
+        replaces a simulation one-for-one).
+        """
+        if not self.speculate_enabled or self._prober is None:
+            return None
+        raw = self._prober.claim(tuple(sorted(dict(distribution).items())))
+        if raw is None:
+            return None
+        self.controller.before_probes(1)
+        self.stats.speculative_useful += 1
+        self.telemetry.emit("speculative_useful", size=sum(vector))
+        return self._absorb(distribution, vector, raw)
 
     # -- lifecycle / introspection ------------------------------------------
     def set_ceiling(self, ceiling: Fraction) -> None:
         """Pin the graph's maximal throughput, enabling the superset prune.
 
-        Cached results that already reach the ceiling are promoted to
-        prune witnesses retroactively.
+        Records are indexed by the oracle at their exact throughput
+        level as they are stored, so no retroactive promotion is needed:
+        the ceiling merely selects which floor level the squeeze
+        consults from now on.
         """
         self.ceiling = ceiling
-        if self.cache_enabled:
-            for vector, record in self._memo.items():
-                if record.throughput == ceiling:
-                    self._note_ceiling(vector)
+        self._oracle.ceiling = ceiling
 
     def _ensure_prober(self) -> ParallelProber:
         if self._prober is None:
@@ -566,6 +727,10 @@ class EvaluationService:
                 "parallel_tasks",
                 "fast_runs",
                 "pool_restarts",
+                "bounds_exact",
+                "bounds_cut",
+                "speculative_issued",
+                "speculative_useful",
             ):
                 setattr(self.stats, name, getattr(self.stats, name) + getattr(previous, name))
             self.stats.max_states_stored = max(

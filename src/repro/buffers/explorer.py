@@ -75,6 +75,11 @@ class ExplorationStats:
     parallel_batches: int = 0
     pool_restarts: int = 0
     pool_fallback_reason: str | None = None
+    bounds_exact: int = 0
+    bounds_cut: int = 0
+    speculative_issued: int = 0
+    speculative_useful: int = 0
+    speculative_wasted: int = 0
 
     def to_dict(self) -> dict:
         """All counters as a JSON-ready dict."""
@@ -187,6 +192,17 @@ class DesignSpaceResult:
             f" {self.stats.workers} worker(s),"
             f" {self.stats.parallel_batches} parallel batches"
         )
+        if self.stats.bounds_exact or self.stats.bounds_cut:
+            lines.append(
+                f"  bounds oracle: {self.stats.bounds_exact} exact answers,"
+                f" {self.stats.bounds_cut} probes cut"
+            )
+        if self.stats.speculative_issued:
+            lines.append(
+                f"  speculation: {self.stats.speculative_issued} issued,"
+                f" {self.stats.speculative_useful} useful,"
+                f" {self.stats.speculative_wasted} wasted"
+            )
         if not self.complete:
             lines.append(
                 f"  INCOMPLETE: budget exhausted ({self.exhausted});"
@@ -440,6 +456,11 @@ def explore_design_space(
             parallel_batches=service.stats.parallel_batches,
             pool_restarts=service.stats.pool_restarts,
             pool_fallback_reason=service.stats.pool_fallback_reason,
+            bounds_exact=service.stats.bounds_exact,
+            bounds_cut=service.stats.bounds_cut,
+            speculative_issued=service.stats.speculative_issued,
+            speculative_useful=service.stats.speculative_useful,
+            speculative_wasted=service.stats.speculative_wasted,
         )
         return DesignSpaceResult(
             graph_name=graph.name,

@@ -13,6 +13,7 @@ from fractions import Fraction
 from collections.abc import Callable, Iterable, Iterator, Mapping
 
 from repro.buffers.distribution import StorageDistribution
+from repro.buffers.shared import strictly_dominates
 
 
 @dataclass(frozen=True)
@@ -97,7 +98,9 @@ class ParetoFront:
         for point in points:
             if front._points:
                 previous = front._points[-1]
-                if point.size <= previous.size or point.throughput <= previous.throughput:
+                if not strictly_dominates(
+                    (point.size, point.throughput), (previous.size, previous.throughput)
+                ):
                     raise ValueError(
                         "Pareto points must be strictly increasing in size and"
                         f" throughput: {previous} followed by {point}"

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from fractions import Fraction
 from itertools import islice
-from collections.abc import Iterator, Mapping
+from collections.abc import Callable, Iterator, Mapping
 
 from repro.buffers.distribution import StorageDistribution
 from repro.buffers.enumerate import distributions_of_size
@@ -113,7 +113,17 @@ class SizeSearch:
         self.upper = dict(upper)
         self.evaluator = evaluator
 
-    def _scan(self, size: int) -> Iterator[tuple[StorageDistribution, Fraction]]:
+    def _cutter(self) -> Callable[[StorageDistribution, Fraction], bool] | None:
+        """The evaluator's bounds-oracle cut test, if it offers one."""
+        if getattr(self.evaluator, "bounds_enabled", False):
+            return self.evaluator.cuts_below
+        return None
+
+    def _scan(
+        self,
+        size: int,
+        skip: Callable[[StorageDistribution], bool] | None = None,
+    ) -> Iterator[tuple[StorageDistribution, Fraction]]:
         """Yield ``(distribution, throughput)`` in enumeration order.
 
         With a plain evaluator this is the serial loop.  With a
@@ -124,20 +134,29 @@ class SizeSearch:
         threshold hit) make identical decisions either way — at most
         the tail of the current wave is evaluated speculatively, and
         those results land in the shared cache rather than being lost.
+
+        *skip* drops candidates without evaluating (or yielding) them —
+        the bounds-oracle cut.  Serially it is consulted per candidate
+        with the caller's freshest state; in wave mode at batch-build
+        time, which is merely conservative (fewer cuts, same results).
         """
         generator = distributions_of_size(self.channels, size, self.lower, self.upper)
         evaluate_many = getattr(self.evaluator, "evaluate_many", None)
         workers = getattr(self.evaluator, "workers", 1)
         if evaluate_many is None or workers <= 1:
             for distribution in generator:
+                if skip is not None and skip(distribution):
+                    continue
                 yield distribution, self.evaluator(distribution)
             return
         wave = 4 * workers
         while True:
-            batch = list(islice(generator, wave))
-            if not batch:
+            chunk = list(islice(generator, wave))
+            if not chunk:
                 return
-            yield from zip(batch, evaluate_many(batch))
+            batch = chunk if skip is None else [d for d in chunk if not skip(d)]
+            if batch:
+                yield from zip(batch, evaluate_many(batch))
             wave = min(2 * wave, 64 * workers)
 
     # -- exact scan -----------------------------------------------------
@@ -150,7 +169,17 @@ class SizeSearch:
         self.evaluator.stats.sizes_probed += 1
         best = Fraction(0)
         witnesses: list[StorageDistribution] = []
-        for distribution, value in self._scan(size):
+        cut = self._cutter()
+        skip = None
+        if cut is not None:
+            # Strictly-below cut: a candidate provably below the running
+            # best cannot become a witness (ties are never cut), so the
+            # probe value and witness tuple are identical with or
+            # without the oracle.
+            def skip(distribution: StorageDistribution) -> bool:
+                return best > 0 and cut(distribution, best)
+
+        for distribution, value in self._scan(size, skip):
             if value > best:
                 best = value
                 witnesses = [distribution]
@@ -160,11 +189,133 @@ class SizeSearch:
                 break
         return SizeProbe(size, best, tuple(witnesses), exact=True)
 
+    def _promote(
+        self, distribution: StorageDistribution, rotation: int = 0
+    ) -> StorageDistribution | None:
+        """*distribution* plus one token on one channel with headroom.
+
+        The walk's seeding move: evaluating this superset either proves
+        the candidate dominated (and its record covers the candidate's
+        sibling candidates for oracle cuts) or costs one extra
+        simulation.  *rotation* round-robins the chosen channel across
+        promotions: a fixed channel choice makes consecutive slices
+        shadow each other — every record one slice's promotions create
+        is exactly a vector the next slice's promotions have already
+        memoised, so no cut ever lands on a fresh candidate.  Rotating
+        the channel spreads the records' dominance cones over the whole
+        slice instead.
+        """
+        names = self.channels
+        count = len(names)
+        for offset in range(count):
+            name = names[(rotation + offset) % count]
+            if distribution[name] < self.upper[name]:
+                return distribution.incremented(name)
+        return None
+
+    def ascending_probe(
+        self, size: int, prev: Fraction, stop_at: Fraction | None = None
+    ) -> SizeProbe:
+        """Exact maximum at *size*, given the exact maximum *prev* of
+        ``size - 1``.
+
+        Monotonicity gives ``max(size) >= prev``, and any witness of
+        this size merely tying a value already reached at a smaller
+        size is dominated on the front.  Together these license a
+        *non-strict* oracle cut against *prev* on top of the strict cut
+        against the running best: a candidate provably ``<= prev``
+        cannot change the probe value (which is at least *prev*) and
+        cannot be a front witness.  The value returned is exact either
+        way, and whenever it exceeds *prev* — the only case in which
+        the probe can appear on the front — the witness tuple is the
+        complete tie set, identical to the full scan's.
+
+        When a candidate is not yet covered, its *promotion* (one token
+        added, :meth:`_promote`) is evaluated first: a promoted result
+        at or below *prev* settles the candidate for the same single
+        simulation a direct evaluation would have cost, and its record
+        additionally covers the candidate's remaining in-box neighbours
+        below it, so later candidates fall to the oracle cut for free.
+        A short failure budget disables promotion on slices where the
+        level above carries mostly higher throughput.
+        """
+        self.evaluator.stats.sizes_probed += 1
+        cut = self._cutter()
+        if cut is None:
+            return self.max_throughput_for_size(size, stop_at)
+        best = Fraction(0)
+        witnesses: list[StorageDistribution] = []
+
+        def skip(distribution: StorageDistribution) -> bool:
+            if cut(distribution, prev, strict=False):
+                return True
+            return best > prev and cut(distribution, best)
+
+        serial = (
+            getattr(self.evaluator, "evaluate_many", None) is None
+            or getattr(self.evaluator, "workers", 1) <= 1
+        )
+        if serial:
+            peek = getattr(self.evaluator, "cached_throughput", None)
+            promotions = 0
+            failures = 0
+            for distribution in distributions_of_size(
+                self.channels, size, self.lower, self.upper
+            ):
+                value = peek(distribution) if peek is not None else None
+                if value is None:
+                    if skip(distribution):
+                        continue
+                    if failures <= 16 + promotions // 4:
+                        grown = self._promote(distribution, promotions)
+                        if grown is not None:
+                            promotions += 1
+                            above = self.evaluator(grown)
+                            if above <= prev or above < best:
+                                continue
+                            failures += 1
+                    value = self.evaluator(distribution)
+                if value > best:
+                    best = value
+                    witnesses = [distribution]
+                elif value == best and value > 0:
+                    witnesses.append(distribution)
+                if stop_at is not None and best >= stop_at:
+                    break
+        else:
+            # The parallel wave path keeps its existing cut semantics;
+            # promotion is a serial-scan refinement (it would serialise
+            # the waves) and speculation covers the pool instead.
+            for distribution, value in self._scan(size, skip):
+                if value > best:
+                    best = value
+                    witnesses = [distribution]
+                elif value == best and value > 0:
+                    witnesses.append(distribution)
+                if stop_at is not None and best >= stop_at:
+                    break
+        if best < prev:
+            # Every candidate was either cut (provably <= prev) or
+            # evaluated below prev, yet max(size) >= max(size-1): the
+            # maximum is exactly prev, achieved only by cut candidates.
+            # Such a probe is dominated by the smaller size's, so it
+            # never reaches the front and needs no witnesses.
+            return SizeProbe(size, prev, (), exact=True)
+        return SizeProbe(size, best, tuple(witnesses), exact=True)
+
     # -- quantised binary search (the paper's formulation) ---------------
     def threshold_scan(self, size: int, threshold: Fraction) -> StorageDistribution | None:
         """First distribution of *size* with throughput >= *threshold*."""
         self.evaluator.stats.threshold_scans += 1
-        for distribution, value in self._scan(size):
+        cut = self._cutter()
+        skip = None
+        if cut is not None:
+            # A candidate provably below the threshold can never be the
+            # first to reach it, so skipping preserves the answer.
+            def skip(distribution: StorageDistribution) -> bool:
+                return cut(distribution, threshold)
+
+        for distribution, value in self._scan(size, skip):
             if value >= threshold:
                 return distribution
         return None
@@ -205,6 +356,37 @@ class SizeSearch:
         return SizeProbe(size, best, witnesses, exact=False)
 
 
+def _wisher(
+    graph: SDFGraph,
+    lower: Mapping[str, int],
+    upper: Mapping[str, int],
+    evaluator: ThroughputEvaluator,
+    probed: Mapping[int, SizeProbe] | None = None,
+) -> Callable[[int], None]:
+    """A ``wish(size)`` hook seeding speculative probes for one slice.
+
+    Sends the head of *size*'s enumeration (one pool wave's worth) to
+    :meth:`EvaluationService.speculate`.  A no-op callable when the
+    evaluator does not speculate, so strategies call it unconditionally.
+    """
+    if not getattr(evaluator, "speculate_enabled", False):
+        return lambda size: None
+    low_size = sum(lower.values())
+    high_size = sum(upper.values())
+    head = 4 * getattr(evaluator, "workers", 1)
+
+    def wish(size: int) -> None:
+        if size < low_size or size > high_size:
+            return
+        if probed is not None and size in probed:
+            return
+        evaluator.speculate(
+            islice(distributions_of_size(graph.channel_names, size, lower, upper), head)
+        )
+
+    return wish
+
+
 def exhaustive_sweep(
     graph: SDFGraph,
     observe: str | None,
@@ -224,8 +406,11 @@ def exhaustive_sweep(
     search = SizeSearch(graph, observe, lower, upper, evaluator)
     low_size = sum(lower.values())
     high_size = sum(upper.values())
+    wish = _wisher(graph, lower, upper, evaluator)
     probes: dict[int, SizeProbe] = {}
     for size in range(low_size, high_size + 1):
+        if size < high_size:
+            wish(size + 1)  # warm the next slice while this one scans
         probe = search.max_throughput_for_size(
             size, stop_at=max_throughput if stop_early else None
         )
@@ -258,6 +443,16 @@ def divide_and_conquer(
     low_size = sum(lower.values())
     high_size = sum(upper.values())
     probes: dict[int, SizeProbe] = {}
+    # With the bounds oracle on, the midpoint recursion is replaced by
+    # an ascending walk: each size is scanned knowing the exact maximum
+    # of the size below, which licenses the non-strict oracle cut and
+    # promotion seeding of ascending_probe.  The walk stops at the
+    # first size reaching the box maximum (all larger sizes are then
+    # dominated by it).  Probe values are exact in both modes and the
+    # minimal size of each throughput value carries its complete
+    # witness tuple, so the resulting front is bit-identical.
+    bounds_first = quantum is None and getattr(evaluator, "bounds_enabled", False)
+    wish = _wisher(graph, lower, upper, evaluator, probed=probes)
 
     def probe(size: int, known_low: Fraction) -> SizeProbe:
         if size not in probes:
@@ -267,13 +462,31 @@ def divide_and_conquer(
                 probes[size] = search.quantized_max_for_size(size, known_low, max_throughput, quantum)
         return probes[size]
 
+    if bounds_first:
+        wish(low_size)
+        last = probe(high_size, Fraction(0))
+        previous = probe(low_size, Fraction(0))
+        for size in range(low_size + 1, high_size):
+            if previous.throughput >= last.throughput:
+                break
+            # Warm the next slice while this one scans on the demand path.
+            wish(size + 1)
+            previous = probes[size] = search.ascending_probe(
+                size, previous.throughput, stop_at=max_throughput
+            )
+        return probes, evaluator.stats
+
     first = probe(low_size, Fraction(0))
     last = probe(high_size, first.throughput)
 
     def recurse(left: SizeProbe, right: SizeProbe) -> None:
         if right.size - left.size <= 1 or left.throughput == right.throughput:
             return
-        middle = probe((left.size + right.size) // 2, left.throughput)
+        middle_size = (left.size + right.size) // 2
+        # Warm the midpoint the recursion will want next while the
+        # current one scans on the demand path.
+        wish((left.size + middle_size) // 2)
+        middle = probe(middle_size, left.throughput)
         recurse(left, middle)
         recurse(middle, right)
 

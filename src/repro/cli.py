@@ -131,6 +131,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the exact evaluation memo/pruning cache (differential baseline)",
     )
     parser.add_argument(
+        "--bounds-oracle",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="consult the monotone throughput-bounds oracle before simulating:"
+        " interval answers skip provably-dominated candidates and the divide"
+        " strategy switches to the ascending probe walk (results are"
+        " bit-identical; requires the cache)",
+    )
+    parser.add_argument(
+        "--speculate",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="issue predicted probe candidates to idle pool workers ahead of"
+        " demand (only effective with --workers > 1; results are bit-identical)",
+    )
+    parser.add_argument(
         "--engine",
         choices=("auto", "fast", "reference"),
         default="auto",
@@ -329,6 +345,8 @@ def _runtime_config(arguments: argparse.Namespace) -> "ExplorationConfig":
         engine=arguments.engine,
         workers=arguments.workers,
         cache=not arguments.no_cache,
+        bounds=arguments.bounds_oracle,
+        speculate=arguments.speculate,
         budget=budget,
         checkpoint=arguments.checkpoint,
         probe_timeout=arguments.probe_timeout,

@@ -54,8 +54,21 @@ class ExplorationConfig:
         Process-pool size for fanning out independent probes; ``1``
         stays serial (bit-identical results either way).
     cache:
-        Keep the exact memo/pruning cache enabled.  Budgets and
-        checkpoints require it.
+        Keep the exact memo/pruning cache enabled.  Budgets,
+        checkpoints, the bounds oracle and speculation require it.
+    bounds:
+        Enable the :class:`~repro.buffers.oracle
+        .ThroughputBoundsOracle`: interval queries answer probes whose
+        throughput is already bracketed exactly (``bounds_exact``) and
+        cut scan candidates whose upper bound cannot beat the running
+        best (``bounds_cut``).  Exact either way — fronts and witnesses
+        are bit-identical with the oracle on or off.  Off by default:
+        the paper's algorithms are reproduced unmodified unless asked.
+    speculate:
+        With ``workers > 1``, issue predicted future probes (upcoming
+        binary-search midpoints, next-size frontier entries) to idle
+        pool workers; results land in the memo cache and are
+        bit-identical to demand-driven probes.  Inert when serial.
     evaluator:
         Bring-your-own :class:`~repro.buffers.evalcache
         .EvaluationService` (e.g. a warm cache shared across runs).
@@ -96,6 +109,8 @@ class ExplorationConfig:
     probe_timeout: float | None = None
     max_pool_restarts: int = 1
     retry_backoff: float = 0.05
+    bounds: bool = False
+    speculate: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -113,6 +128,16 @@ class ExplorationConfig:
                 "budgets require the memo cache (cache=True): partial results"
                 " and resume tokens are reconstructed from it"
             )
+        if self.bounds and not self.cache:
+            raise ExplorationError(
+                "the bounds oracle requires the memo cache (cache=True): it"
+                " is an index over the recorded evaluations"
+            )
+        if self.speculate and not self.cache:
+            raise ExplorationError(
+                "speculative probing requires the memo cache (cache=True):"
+                " speculative results are absorbed into it"
+            )
         if self.evaluator is not None:
             owned_only = {
                 "engine": "auto",
@@ -120,6 +145,8 @@ class ExplorationConfig:
                 "cache": True,
                 "budget": None,
                 "on_event": None,
+                "bounds": False,
+                "speculate": False,
             }
             clashes = [
                 name

@@ -35,6 +35,10 @@ KNOWN_EVENTS = (
     "probe_finish",
     "cache_hit",
     "prune",
+    "bounds_exact",
+    "bounds_cut",
+    "speculative_issued",
+    "speculative_useful",
     "frontier_update",
     "pool_restart",
     "pool_fallback",

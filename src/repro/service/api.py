@@ -179,6 +179,16 @@ class AnalysisApi:
         for state, count in sorted(self.manager.states_count().items()):
             gauges.append(("jobs", {"state": state}, float(count)))
         gauges.append(("graphs_registered", {}, float(len(self.registry))))
+        # Probe-avoidance counters, always present (0.0 before any job
+        # enables the oracle/speculation) so dashboards can rate() them.
+        counters = self.manager.telemetry.counters
+        issued = float(counters.get("speculative_issued", 0))
+        useful = float(counters.get("speculative_useful", 0))
+        gauges.append(("bounds_exact", {}, float(counters.get("bounds_exact", 0))))
+        gauges.append(("bounds_cut", {}, float(counters.get("bounds_cut", 0))))
+        gauges.append(("speculative_issued", {}, issued))
+        gauges.append(("speculative_useful", {}, useful))
+        gauges.append(("speculative_wasted", {}, max(0.0, issued - useful)))
         return ApiResponse.text(
             to_prometheus(self.manager.telemetry, gauges=gauges)
         )

@@ -335,7 +335,11 @@ class JobManager:
                 graph,
                 job.spec.observe,
                 config=ExplorationConfig(
-                    engine=self.engine, budget=budget, on_event=forward
+                    engine=self.engine,
+                    budget=budget,
+                    on_event=forward,
+                    bounds=bool(job.spec.params.get("bounds", False)),
+                    speculate=bool(job.spec.params.get("speculate", False)),
                 ),
             )
             try:

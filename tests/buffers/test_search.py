@@ -128,3 +128,73 @@ class TestSweeps:
         target = max_throughput(fig6, "d")
         divided, stats = divide_and_conquer(fig6, "d", lower, upper, target)
         assert stats.sizes_probed <= upper.size - lower.size + 1
+
+
+class TestAscendingWalk:
+    """The bounds-oracle walk of ``divide_and_conquer`` (PR 5)."""
+
+    @staticmethod
+    def bounded_service(graph, observe="c"):
+        from repro.buffers.evalcache import EvaluationService
+        from repro.runtime.config import ExplorationConfig
+
+        return EvaluationService(graph, observe, config=ExplorationConfig(bounds=True))
+
+    def test_promote_rotates_over_channels_with_headroom(self, fig1):
+        search, _, lower, upper = make_search(fig1)
+        base = StorageDistribution(lower)
+        first = search._promote(base, 0)
+        second = search._promote(base, 1)
+        assert first != second  # rotation seeds different cones
+        assert first.size == second.size == base.size + 1
+        assert search._promote(StorageDistribution(upper), 0) is None
+
+    def test_promote_skips_saturated_channels(self, fig1):
+        search, _, lower, upper = make_search(fig1)
+        pinned = dict(upper)
+        pinned["alpha"] = upper["alpha"]  # alpha saturated
+        pinned["beta"] = lower["beta"]
+        grown = search._promote(StorageDistribution(pinned), 0)
+        assert grown is not None
+        assert grown["alpha"] == upper["alpha"]
+        assert grown["beta"] == lower["beta"] + 1
+
+    def test_ascending_probe_value_matches_full_scan(self, fig1):
+        service = self.bounded_service(fig1)
+        lower = lower_bound_distribution(fig1)
+        upper = upper_bound_distribution(fig1)
+        walk = SizeSearch(fig1, "c", lower, upper, service)
+        full, _, _, _ = make_search(fig1)
+        prev = walk.max_throughput_for_size(lower.size).throughput
+        for size in range(lower.size + 1, upper.size + 1):
+            probe = walk.ascending_probe(size, prev)
+            reference = full.max_throughput_for_size(size)
+            assert probe.throughput == reference.throughput
+            assert probe.exact
+            if probe.throughput > prev:
+                # The only probes that can reach the front carry the
+                # complete tie set, identical to the full scan's.
+                assert probe.witnesses == reference.witnesses
+            prev = probe.throughput
+
+    def test_ascending_probe_without_oracle_falls_back(self, fig1):
+        search, _, lower, _ = make_search(fig1)
+        probe = search.ascending_probe(lower.size + 1, Fraction(0))
+        reference = search.max_throughput_for_size(lower.size + 1)
+        assert probe.throughput == reference.throughput
+        assert probe.witnesses == reference.witnesses
+
+    def test_divide_with_bounds_front_is_bit_identical(self, fig1, fig6):
+        from repro.buffers.explorer import explore_design_space
+        from repro.runtime.config import ExplorationConfig
+
+        for graph, observe in ((fig1, "c"), (fig6, "d")):
+            off = explore_design_space(
+                graph, observe, strategy="divide", config=ExplorationConfig()
+            )
+            on = explore_design_space(
+                graph, observe, strategy="divide", config=ExplorationConfig(bounds=True)
+            )
+            assert on.front == off.front  # sizes, throughputs AND witnesses
+            assert on.max_throughput == off.max_throughput
+            assert on.stats.evaluations <= off.stats.evaluations

@@ -167,6 +167,44 @@ class TestObservability:
         # a scrape's own timer closes after rendering: visible next scrape
         assert 'repro_timer_seconds_count{timer="http GET /metrics"}' in client.metrics()
 
+    def test_probe_avoidance_gauges_default_to_zero(self, client):
+        text = client.metrics()
+        assert "repro_bounds_exact 0.0" in text
+        assert "repro_bounds_cut 0.0" in text
+        assert "repro_speculative_issued 0.0" in text
+        assert "repro_speculative_useful 0.0" in text
+        assert "repro_speculative_wasted 0.0" in text
+
+    def test_bounds_job_counts_exact_answers_and_keeps_the_front(self, client, fig1):
+        plain = client.wait(
+            client.submit_job(
+                graph_to_dict(fig1),
+                kind="dse",
+                observe="c",
+                params={"strategy": "divide"},
+            )["id"]
+        )
+        boosted = client.wait(
+            client.submit_job(
+                graph_to_dict(fig1),
+                kind="dse",
+                observe="c",
+                params={"strategy": "divide", "bounds": True, "speculate": True},
+            )["id"]
+        )
+        assert boosted["state"] == plain["state"] == "done"
+        assert boosted["result"]["pareto_front"] == plain["result"]["pareto_front"]
+        # The second job resumes from the first's shared record bank:
+        # the oracle answers everything without new simulations.
+        assert boosted["result"]["stats"]["evaluations"] == 0
+        text = client.metrics()
+        for gauge in ("repro_bounds_exact", "repro_bounds_cut"):
+            value = next(
+                line.split()[1] for line in text.splitlines()
+                if line.startswith(gauge + " ")
+            )
+            assert float(value) >= 0.0
+
     def test_metrics_content_type_is_prometheus(self, server):
         response = server.api.handle("GET", "/metrics")
         assert response.content_type == "text/plain; version=0.0.4; charset=utf-8"
