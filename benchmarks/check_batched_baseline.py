@@ -1,0 +1,102 @@
+"""CI gate: the batched probe plane must keep its speedup and exactness.
+
+Re-runs the wave workload of one BML99 case study (the one the
+committed ``BENCH_batched.json`` records as its best) through the
+``reference`` and ``batch-numpy`` backends, asserting
+
+* lane-for-lane identical ``EvalResult``s (exactness is the contract
+  that makes the backend seam safe), and
+* a batch-numpy speedup at or above the acceptance target recorded in
+  the baseline (>= 5x) — measured fresh, because wall-clock figures
+  from another machine are not comparable, while the speedup *ratio*
+  on the same machine is.
+
+A workload-shape drift (lane count changed) fails loudly instead of
+silently gating a different benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_batched_baseline.py \
+        --baseline BENCH_batched.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from bench_batched_probe import GALLERY, thin, workload_wave
+from repro.engine.backends import backend_for
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="BENCH_batched.json", help="committed benchmark report"
+    )
+    parser.add_argument(
+        "--graph",
+        default=None,
+        choices=sorted(GALLERY),
+        help="case study to re-run (default: the baseline's best BML99 workload)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of, damps CI noise)"
+    )
+    arguments = parser.parse_args(argv)
+
+    baseline = json.loads(Path(arguments.baseline).read_text(encoding="utf-8"))
+    name = arguments.graph or baseline["bml99_best_workload"]
+    target = float(baseline["speedup_target"])
+    entry = baseline["graphs"][name]
+
+    graph = GALLERY[name]()
+    wave = workload_wave(name)
+    if len(wave) != entry["lanes"]:
+        print(
+            f"FAIL: workload drifted — {len(wave)} lanes vs baseline"
+            f" {entry['lanes']}; re-record the baseline",
+            file=sys.stderr,
+        )
+        return 1
+
+    reference = backend_for("reference")
+    batched = backend_for("batch-numpy")
+    batched.evaluate_batch(graph, wave[:2], None)  # warm the kernel cache
+
+    best_ref, best_batch = float("inf"), float("inf")
+    expected = None
+    for _ in range(max(1, arguments.repeats)):
+        started = time.perf_counter()
+        ref_results = reference.evaluate_batch(graph, wave, None)
+        best_ref = min(best_ref, time.perf_counter() - started)
+        started = time.perf_counter()
+        batch_results = batched.evaluate_batch(graph, wave, None)
+        best_batch = min(best_batch, time.perf_counter() - started)
+        expected = thin(ref_results)
+        if thin(batch_results) != expected:
+            print("FAIL: batch-numpy results differ from reference", file=sys.stderr)
+            return 1
+
+    speedup = best_ref / best_batch if best_batch else 0.0
+    print(
+        f"{name}: batch-numpy {speedup:.1f}x over reference"
+        f" ({len(wave)} lanes; baseline recorded"
+        f" {entry['batch_numpy_speedup']:.1f}x, target {target:.0f}x)"
+    )
+    if speedup < target:
+        print(
+            f"FAIL: {speedup:.1f}x < target {target:.0f}x — the lock-step"
+            " kernel regressed (or this machine is pathologically noisy:"
+            " re-run before digging)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,8 +85,9 @@ from repro.buffers.distribution import StorageDistribution
 from repro.buffers.oracle import ThroughputBoundsOracle
 from repro.buffers.search import SearchStats
 from repro.buffers.shared import dominates as _dominates
+from repro.engine.backends import ProbeBackend, backend_for
 from repro.engine.executor import Executor
-from repro.engine.fastcore import ENGINES, FastKernel, kernel_for
+from repro.engine.fastcore import ENGINES
 from repro.engine.parallel import ParallelProber, RawEvaluation
 from repro.exceptions import CapacityError, EngineError, ExplorationError
 from repro.graph.graph import SDFGraph
@@ -127,6 +128,12 @@ class EvalStats(SearchStats):
     bounds_cut: int = 0
     speculative_issued: int = 0
     speculative_useful: int = 0
+    #: Wave-batched probe accounting (``config.batch > 0``): how many
+    #: ``evaluate_batch`` group calls were made and how many lanes they
+    #: carried in total.  ``batch_lanes / batch_calls`` is the mean
+    #: occupancy; it measures *how* probes ran, never which ones.
+    batch_calls: int = 0
+    batch_lanes: int = 0
 
     @property
     def prunes(self) -> int:
@@ -221,7 +228,14 @@ class EvaluationService:
         self.engine = config.engine
         self.telemetry = TelemetryHub(config.on_event)
         self.controller = RunController(config.budget, self.telemetry)
-        self._kernel: FastKernel | None = None
+        # Probe backend: explicit config.backend, else the one matching
+        # the engine selector.  Config validation already rejected
+        # unknown names and capability mismatches at construction.
+        self.backend_name = config.backend or (
+            "reference" if config.engine == "reference" else "fastcore"
+        )
+        self._backend: ProbeBackend = backend_for(self.backend_name)
+        self.batch_size = max(0, int(config.batch))
         self.ceiling = ceiling
         self.stats = stats if stats is not None else EvalStats(workers=self.workers)
         self.stats.workers = self.workers
@@ -235,12 +249,15 @@ class EvaluationService:
         # which levels queries may consult.
         self._oracle = ThroughputBoundsOracle(limit=self._prune_limit, ceiling=ceiling)
         self.bounds_enabled = bool(config.bounds) and self.cache_enabled
-        self.speculate_enabled = (
-            bool(config.speculate) and self.cache_enabled and self.workers > 1
+        self.speculate_enabled = bool(config.speculate) and self.cache_enabled and (
+            self.workers > 1 or self.batch_size > 0
         )
         # Vectors whose memo entry came from a speculative probe and has
         # not yet been consumed by a demand query (wasted-work tracking).
         self._spec_origin: set[tuple[int, ...]] = set()
+        # Batch-mode wish list: unmemoised speculative candidates used
+        # to top up partially-filled waves ({vector: distribution}).
+        self._spec_pending: dict[tuple[int, ...], StorageDistribution] = {}
         self._prober: ParallelProber | None = None
 
     # -- canonical keys ---------------------------------------------------
@@ -361,12 +378,22 @@ class EvaluationService:
             misses.append((index, distribution, vector))
 
         if misses:
-            pooled = (
-                self.workers > 1
+            grouped = (
+                not blocking
+                and self.batch_size > 0
                 and len(misses) > 1
                 and self.controller.allows(len(misses))
             )
-            if pooled:
+            pooled = (
+                not grouped
+                and self.workers > 1
+                and len(misses) > 1
+                and self.controller.allows(len(misses))
+            )
+            if grouped:
+                for (index, _, _), record in zip(misses, self._evaluate_wave(misses)):
+                    records[index] = record
+            elif pooled:
                 # One budget charge for the whole fan-out; the
                 # controller rejected it above if it would overdraw, in
                 # which case the inline path below spends what is left
@@ -477,14 +504,13 @@ class EvaluationService:
         self.telemetry.emit("probe_start", size=size, blocking=blocking)
         probe_started = time.perf_counter()
         self.stats.evaluations += 1
-        if not blocking and self.engine != "reference":
-            if self._kernel is None:
-                self._kernel = kernel_for(self.graph, self.observe)
-            result = self._kernel.run(distribution)
-            self.stats.fast_runs += 1
-            record = EvaluationRecord(
-                distribution, result.throughput, result.states_stored, None, None
-            )
+        if not blocking:
+            result = self._backend.evaluate_batch(
+                self.graph, [dict(distribution)], self.observe
+            )[0]
+            if "compiled" in self._backend.capabilities:
+                self.stats.fast_runs += 1
+            record = self._result_record(distribution, result)
         else:
             result = Executor(self.graph, distribution, self.observe, track_blocking=True).run()
             record = EvaluationRecord(
@@ -494,7 +520,9 @@ class EvaluationService:
                 result.space_blocked,
                 dict(result.space_deficits),
             )
-        self.stats.max_states_stored = max(self.stats.max_states_stored, result.states_stored)
+            self.stats.max_states_stored = max(
+                self.stats.max_states_stored, result.states_stored
+            )
         duration = time.perf_counter() - probe_started
         self.telemetry.record_time("probe", duration)
         self.telemetry.emit(
@@ -504,6 +532,69 @@ class EvaluationService:
             duration_s=duration,
         )
         return self._store(vector, record)
+
+    def _result_record(
+        self, distribution: StorageDistribution, result
+    ) -> EvaluationRecord:
+        """An :class:`EvaluationRecord` from a backend ``EvalResult``."""
+        self.stats.max_states_stored = max(
+            self.stats.max_states_stored, result.states_stored
+        )
+        return EvaluationRecord(
+            distribution,
+            result.throughput,
+            result.states_stored,
+            result.space_blocked,
+            dict(result.space_deficits) if result.space_deficits is not None else None,
+        )
+
+    def _evaluate_wave(
+        self, misses: Sequence[tuple[int, StorageDistribution, tuple[int, ...]]]
+    ) -> list[EvaluationRecord]:
+        """One grouped ``evaluate_batch`` call for a wave of cache misses.
+
+        The controller admitted the wave as a unit, so the whole charge
+        lands before any lane runs — interruption stays on a probe
+        boundary.  Spare lanes up to the configured width are topped up
+        with pending speculative wishes; their records enter the memo
+        as speculative (charged to the budget only if a later demand
+        query consumes them, mirroring the pool's speculation
+        accounting).  Returns the demand records in miss order.
+        """
+        self.controller.before_probes(len(misses))
+        extras: list[tuple[StorageDistribution, tuple[int, ...]]] = []
+        room = self.batch_size - len(misses)
+        while room > 0 and self._spec_pending:
+            vector, distribution = self._spec_pending.popitem()
+            if vector in self._memo:
+                continue
+            extras.append((distribution, vector))
+            room -= 1
+        wave = [dict(d) for _, d, _ in misses] + [dict(d) for d, _ in extras]
+        started = time.perf_counter()
+        results = self._backend.evaluate_batch(self.graph, wave, self.observe)
+        duration = time.perf_counter() - started
+        compiled = "compiled" in self._backend.capabilities
+        self.stats.batch_calls += 1
+        self.stats.batch_lanes += len(wave)
+        self.telemetry.emit(
+            "batch_call", lanes=len(wave), demand=len(misses), duration_s=duration
+        )
+        for _ in wave:
+            self.telemetry.emit("batch_lanes")
+        self.telemetry.record_time("batch", duration)
+        records: list[EvaluationRecord] = []
+        for (_, distribution, vector), result in zip(misses, results):
+            self.stats.evaluations += 1
+            if compiled:
+                self.stats.fast_runs += 1
+            records.append(self._store(vector, self._result_record(distribution, result)))
+        for (distribution, vector), result in zip(extras, results[len(misses) :]):
+            self._store(vector, self._result_record(distribution, result))
+            self._spec_origin.add(vector)
+            self.stats.speculative_issued += 1
+            self.telemetry.emit("speculative_issued", size=sum(vector))
+        return records
 
     def _absorb(
         self,
@@ -538,12 +629,29 @@ class EvaluationService:
         """Wish for probes the caller predicts it will need soon.
 
         Unmemoised distributions are submitted fire-and-forget to idle
-        pool workers; returns how many were actually issued.  A no-op
-        unless ``config.speculate`` is set, the cache is on and the
-        pool is healthy — strategies may call this unconditionally.
+        pool workers, or — in batch mode — queued as spare-lane
+        candidates for the next grouped wave; returns how many were
+        actually accepted.  A no-op unless ``config.speculate`` is set,
+        the cache is on and a pool or batch plane exists — strategies
+        may call this unconditionally.
         """
         if not self.speculate_enabled:
             return 0
+        if self.batch_size > 0:
+            # Batch mode: wishes wait in a bounded list and ride along
+            # as spare lanes of the next grouped wave; they are counted
+            # issued only when a wave actually runs them.
+            limit = 8 * self.batch_size
+            accepted = 0
+            for distribution in distributions:
+                vector = self._vector(distribution)
+                if vector in self._memo or vector in self._spec_pending:
+                    continue
+                if len(self._spec_pending) >= limit:
+                    break
+                self._spec_pending[vector] = distribution
+                accepted += 1
+            return accepted
         prober = self._ensure_prober()
         if not prober.parallel:
             return 0
@@ -731,6 +839,8 @@ class EvaluationService:
                 "bounds_cut",
                 "speculative_issued",
                 "speculative_useful",
+                "batch_calls",
+                "batch_lanes",
             ):
                 setattr(self.stats, name, getattr(self.stats, name) + getattr(previous, name))
             self.stats.max_states_stored = max(

@@ -80,6 +80,9 @@ class ExplorationStats:
     speculative_issued: int = 0
     speculative_useful: int = 0
     speculative_wasted: int = 0
+    backend: str | None = None
+    batch_calls: int = 0
+    batch_lanes: int = 0
 
     def to_dict(self) -> dict:
         """All counters as a JSON-ready dict."""
@@ -202,6 +205,14 @@ class DesignSpaceResult:
                 f"  speculation: {self.stats.speculative_issued} issued,"
                 f" {self.stats.speculative_useful} useful,"
                 f" {self.stats.speculative_wasted} wasted"
+            )
+        if self.stats.batch_calls:
+            occupancy = self.stats.batch_lanes / self.stats.batch_calls
+            lines.append(
+                f"  batching: {self.stats.batch_calls} waves,"
+                f" {self.stats.batch_lanes} lanes"
+                f" ({occupancy:.1f} mean occupancy,"
+                f" backend {self.stats.backend or 'default'})"
             )
         if not self.complete:
             lines.append(
@@ -461,6 +472,9 @@ def explore_design_space(
             speculative_issued=service.stats.speculative_issued,
             speculative_useful=service.stats.speculative_useful,
             speculative_wasted=service.stats.speculative_wasted,
+            backend=service.backend_name,
+            batch_calls=service.stats.batch_calls,
+            batch_lanes=service.stats.batch_lanes,
         )
         return DesignSpaceResult(
             graph_name=graph.name,

@@ -131,6 +131,28 @@ class ThroughputBoundsOracle:
             insort(self._ceil_levels, throughput)
         front.add(vector)
 
+    def snapshot(self) -> dict:
+        """Deterministic rendering of everything the oracle knows.
+
+        Differential tests compare two runs' oracles for equality (the
+        memo and the oracle must not depend on *how* probes ran — pool,
+        batch wave or inline).  Fronts are rendered as sorted tuples:
+        antichain membership is order-independent even though insertion
+        order is not.
+        """
+        return {
+            "index": dict(self.index),
+            "floor": {
+                level: tuple(sorted(self._floor[level]))
+                for level in self._floor_levels
+            },
+            "ceil": {
+                level: tuple(sorted(self._ceil[level]))
+                for level in self._ceil_levels
+            },
+            "ceiling": self.ceiling,
+        }
+
     # -- point queries on single levels (the legacy prune rules) ----------
     def floor_reaches(
         self, throughput: Fraction, vector: tuple[int, ...], total: int | None = None

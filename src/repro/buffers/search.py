@@ -143,13 +143,20 @@ class SizeSearch:
         generator = distributions_of_size(self.channels, size, self.lower, self.upper)
         evaluate_many = getattr(self.evaluator, "evaluate_many", None)
         workers = getattr(self.evaluator, "workers", 1)
-        if evaluate_many is None or workers <= 1:
+        batch_size = getattr(self.evaluator, "batch_size", 0)
+        if evaluate_many is None or (workers <= 1 and batch_size <= 0):
             for distribution in generator:
                 if skip is not None and skip(distribution):
                     continue
                 yield distribution, self.evaluator(distribution)
             return
-        wave = 4 * workers
+        if batch_size > 0:
+            # Lock-step backends amortise per-call overhead over lanes:
+            # start at the configured width, cap well above it so hot
+            # slices fill wide waves.
+            wave, cap = batch_size, 16 * batch_size
+        else:
+            wave, cap = 4 * workers, 64 * workers
         while True:
             chunk = list(islice(generator, wave))
             if not chunk:
@@ -157,7 +164,7 @@ class SizeSearch:
             batch = chunk if skip is None else [d for d in chunk if not skip(d)]
             if batch:
                 yield from zip(batch, evaluate_many(batch))
-            wave = min(2 * wave, 64 * workers)
+            wave = min(2 * wave, cap)
 
     # -- exact scan -----------------------------------------------------
     def max_throughput_for_size(self, size: int, stop_at: Fraction | None = None) -> SizeProbe:
@@ -251,9 +258,9 @@ class SizeSearch:
                 return True
             return best > prev and cut(distribution, best)
 
-        serial = (
-            getattr(self.evaluator, "evaluate_many", None) is None
-            or getattr(self.evaluator, "workers", 1) <= 1
+        serial = getattr(self.evaluator, "evaluate_many", None) is None or (
+            getattr(self.evaluator, "workers", 1) <= 1
+            and getattr(self.evaluator, "batch_size", 0) <= 0
         )
         if serial:
             peek = getattr(self.evaluator, "cached_throughput", None)
@@ -365,7 +372,8 @@ def _wisher(
 ) -> Callable[[int], None]:
     """A ``wish(size)`` hook seeding speculative probes for one slice.
 
-    Sends the head of *size*'s enumeration (one pool wave's worth) to
+    Sends the head of *size*'s enumeration (one pool wave's — or, in
+    batch mode, one lane wave's — worth) to
     :meth:`EvaluationService.speculate`.  A no-op callable when the
     evaluator does not speculate, so strategies call it unconditionally.
     """
@@ -373,7 +381,8 @@ def _wisher(
         return lambda size: None
     low_size = sum(lower.values())
     high_size = sum(upper.values())
-    head = 4 * getattr(evaluator, "workers", 1)
+    batch_size = getattr(evaluator, "batch_size", 0)
+    head = batch_size if batch_size > 0 else 4 * getattr(evaluator, "workers", 1)
 
     def wish(size: int) -> None:
         if size < low_size or size > high_size:

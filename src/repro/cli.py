@@ -155,6 +155,22 @@ def build_parser() -> argparse.ArgumentParser:
         " (default: auto)",
     )
     parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        help="probe backend from the repro.engine.backends registry"
+        " ('reference', 'fastcore', 'batch-numpy', ...); unknown names and"
+        " capability mismatches fail up front (default: matches --engine)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="probe wave width: collect up to N scan/speculation candidates"
+        " into one evaluate_batch call (0 disables; results are bit-identical,"
+        " best with --backend batch-numpy)",
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         metavar="SECONDS",
@@ -350,6 +366,8 @@ def _runtime_config(arguments: argparse.Namespace) -> "ExplorationConfig":
         budget=budget,
         checkpoint=arguments.checkpoint,
         probe_timeout=arguments.probe_timeout,
+        backend=arguments.backend,
+        batch=arguments.batch,
     )
 
 

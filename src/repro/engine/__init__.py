@@ -30,8 +30,20 @@ provides a compiled event-calendar kernel (:class:`FastKernel`) that
 computes bit-for-bit identical results for uninstrumented runs; the
 ``engine="auto"`` knob of :func:`execute` (and of the analysis and
 exploration entry points built on it) selects it automatically.
+
+:mod:`repro.engine.backends` packages both kernels (plus a lock-step
+batched numpy kernel) behind the :class:`ProbeBackend` registry — the
+seam the exploration layers use to evaluate whole waves of capacity
+vectors at once.
 """
 
+from repro.engine.backends import (
+    EvalResult,
+    ProbeBackend,
+    backend_for,
+    backend_names,
+    register_backend,
+)
 from repro.engine.concurrent import ConcurrentExecutor
 from repro.engine.executor import ExecutionResult, Executor, execute
 from repro.engine.fastcore import FastKernel, fast_execute, resolve_engine
@@ -41,13 +53,18 @@ from repro.engine.statestore import StateStore
 
 __all__ = [
     "ConcurrentExecutor",
+    "EvalResult",
     "ExecutionResult",
     "Executor",
     "FastKernel",
+    "ProbeBackend",
     "SDFState",
     "Schedule",
     "StateStore",
+    "backend_for",
+    "backend_names",
     "execute",
     "fast_execute",
+    "register_backend",
     "resolve_engine",
 ]

@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 from collections.abc import Callable
 
-from repro.exceptions import EngineError, ExplorationError
+from repro.exceptions import ConfigError, EngineError, ExplorationError
 from repro.runtime.budget import Budget
 from repro.runtime.telemetry import TelemetryEvent
 
@@ -39,6 +39,14 @@ UNSET = type("_Unset", (), {"__repr__": lambda self: "<unset>", "__bool__": lamb
 #: :data:`repro.engine.fastcore.ENGINES`; duplicated here so building a
 #: config stays import-light).
 _ENGINES = ("auto", "fast", "reference")
+
+#: Capabilities a probe backend must offer per engine selector: the
+#: reference engine records space-blocking data, so a backend serving
+#: it must produce that data; ``fast`` promises compiled-kernel probes.
+_REQUIRED_CAPABILITIES = {
+    "reference": frozenset({"blocking"}),
+    "fast": frozenset({"compiled"}),
+}
 
 
 @dataclass(frozen=True)
@@ -97,6 +105,23 @@ class ExplorationConfig:
     retry_backoff:
         Base sleep (seconds) before a pool restart; doubles per
         consecutive restart.
+    backend:
+        Probe backend name from the :mod:`repro.engine.backends`
+        registry (``"reference"``, ``"fastcore"``, ``"batch-numpy"``,
+        or any backend registered by the application).  ``None`` picks
+        the backend matching ``engine`` (``"reference"`` for the
+        reference engine, ``"fastcore"`` otherwise).  Unknown names and
+        backends lacking a capability the selected engine requires
+        raise :class:`~repro.exceptions.ConfigError` here, at
+        construction — a run never silently degrades to a different
+        backend mid-flight.
+    batch:
+        Probe wave width.  ``0`` (default) keeps the classic per-probe
+        evaluation path; ``batch >= 1`` makes the scan and speculation
+        layers collect candidate waves of that size and submit them as
+        one ``evaluate_batch`` call.  Results, fronts and witnesses are
+        bit-identical for every batch width; only "how probes ran"
+        counters (``batch_calls``/``batch_lanes``) differ.
     """
 
     engine: str = "auto"
@@ -111,6 +136,8 @@ class ExplorationConfig:
     retry_backoff: float = 0.05
     bounds: bool = False
     speculate: bool = False
+    backend: str | None = None
+    batch: int = 0
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -119,6 +146,23 @@ class ExplorationConfig:
             )
         if int(self.workers) < 1:
             raise ExplorationError("workers must be >= 1")
+        if int(self.batch) < 0:
+            raise ConfigError("batch must be >= 0 (0 disables wave batching)")
+        if self.backend is not None:
+            # Imported lazily so building a default config stays
+            # import-light (no numpy pull-in for plain explorations).
+            from repro.engine.backends import backend_for
+
+            backend = backend_for(self.backend)  # unknown name -> ConfigError
+            required = _REQUIRED_CAPABILITIES.get(self.engine, frozenset())
+            missing = required - backend.capabilities
+            if missing:
+                raise ConfigError(
+                    f"backend {self.backend!r} lacks the"
+                    f" {', '.join(sorted(missing))} capability required by"
+                    f" engine={self.engine!r} (backend capabilities:"
+                    f" {', '.join(sorted(backend.capabilities)) or 'none'})"
+                )
         if self.max_pool_restarts < 0:
             raise ExplorationError("max_pool_restarts must be >= 0")
         if self.probe_timeout is not None and self.probe_timeout <= 0:
@@ -147,6 +191,8 @@ class ExplorationConfig:
                 "on_event": None,
                 "bounds": False,
                 "speculate": False,
+                "backend": None,
+                "batch": 0,
             }
             clashes = [
                 name

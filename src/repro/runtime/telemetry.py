@@ -39,6 +39,8 @@ KNOWN_EVENTS = (
     "bounds_cut",
     "speculative_issued",
     "speculative_useful",
+    "batch_call",
+    "batch_lanes",
     "frontier_update",
     "pool_restart",
     "pool_fallback",

@@ -189,6 +189,13 @@ class AnalysisApi:
         gauges.append(("speculative_issued", {}, issued))
         gauges.append(("speculative_useful", {}, useful))
         gauges.append(("speculative_wasted", {}, max(0.0, issued - useful)))
+        # Batched probe plane: wave count, total lanes, mean occupancy
+        # (lanes per wave; 0.0 until a job runs with batch > 0).
+        calls = float(counters.get("batch_call", 0))
+        lanes = float(counters.get("batch_lanes", 0))
+        gauges.append(("batch_calls", {}, calls))
+        gauges.append(("batch_lanes", {}, lanes))
+        gauges.append(("batch_occupancy", {}, lanes / calls if calls else 0.0))
         return ApiResponse.text(
             to_prometheus(self.manager.telemetry, gauges=gauges)
         )

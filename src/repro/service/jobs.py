@@ -340,6 +340,8 @@ class JobManager:
                     on_event=forward,
                     bounds=bool(job.spec.params.get("bounds", False)),
                     speculate=bool(job.spec.params.get("speculate", False)),
+                    backend=job.spec.params.get("backend"),
+                    batch=int(job.spec.params.get("batch", 0)),
                 ),
             )
             try:

@@ -2,6 +2,8 @@
 
 from fractions import Fraction
 
+import pytest
+
 from repro.buffers.explorer import explore_design_space
 from repro.buffers.shared import compare_storage_models, shared_memory_requirement
 
@@ -41,6 +43,7 @@ class TestCompareStorageModels:
             assert report.throughput == point.throughput
             assert report.peak_shared_tokens <= point.size
 
+    @pytest.mark.slow
     def test_savings_on_samplerate(self, samplerate_graph):
         result = explore_design_space(samplerate_graph)
         reports = compare_storage_models(samplerate_graph, result.front)

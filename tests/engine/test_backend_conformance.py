@@ -1,0 +1,287 @@
+"""Backend-conformance harness: every registered probe backend is exact.
+
+The :mod:`repro.engine.backends` registry is the seam future
+accelerated kernels (cffi, GPU, remote) plug into.  The contract is
+strict: for every capacity vector a backend must return the *same*
+``EvalResult`` — throughput as an exact :class:`~fractions.Fraction`,
+``states_stored``, ``deadlocked`` — as the instrumented reference
+executor, and explorations driven through it must produce bit-identical
+Pareto fronts, witnesses and (normalised) stats.
+
+Everything here is parametrised over :func:`backend_names`, so a new
+backend inherits the whole suite by calling
+:func:`~repro.engine.backends.register_backend` — no test edits needed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.explorer import explore_design_space
+from repro.csdf.executor import CSDFExecutor
+from repro.csdf.graph import from_sdf
+from repro.engine.backends import EvalResult, backend_for, backend_names
+from repro.gallery import (
+    fig1_example,
+    fig6_example,
+    h263_decoder,
+    modem,
+    random_consistent_graph,
+    sample_rate_converter,
+    satellite_receiver,
+)
+
+BACKENDS = backend_names()
+
+#: Gallery cases: name -> (graph factory, heavy?).  Heavy graphs only
+#: run in the full (non-tier-1) CI job.
+GALLERY = {
+    "fig1": (fig1_example, False),
+    "fig6": (fig6_example, False),
+    "modem": (modem, False),
+    "samplerate": (sample_rate_converter, False),
+    "satellite": (satellite_receiver, True),
+    "h263": (lambda: h263_decoder(blocks=9), False),
+}
+
+GALLERY_CASES = [
+    pytest.param(name, marks=pytest.mark.slow if heavy else ())
+    for name, (_factory, heavy) in GALLERY.items()
+]
+
+
+def probe_vectors(graph, count=8):
+    """A deterministic capacity wave exercising the interesting regimes.
+
+    Includes the per-channel structural minimum (often deadlocking),
+    comfortable vectors and a duplicate lane.  Every lane bounds every
+    channel: leaving a channel unbounded can make the self-timed
+    execution aperiodic (tokens accumulate without revisiting a state),
+    which no engine can finish — the unbounded convention is covered by
+    :func:`test_unbounded_channels` on a feedback-bounded graph instead.
+    """
+    channels = sorted(graph.channel_names)
+    floor = {
+        name: max(
+            graph.channels[name].initial_tokens,
+            max(graph.channels[name].production, graph.channels[name].consumption),
+        )
+        for name in channels
+    }
+    comfortable = {
+        name: max(
+            graph.channels[name].initial_tokens,
+            graph.channels[name].production + graph.channels[name].consumption,
+        )
+        for name in channels
+    }
+    vectors = [dict(floor), dict(comfortable)]
+    for k in range(1, count - 2):
+        vector = dict(comfortable)
+        vector[channels[k % len(channels)]] += k
+        for i, name in enumerate(channels):
+            vector[name] += (k + i) % 3
+        vectors.append(vector)
+    vectors.append(dict(comfortable))  # duplicate lane
+    return vectors
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    """Reference-backend results per gallery case, computed once."""
+    cache = {}
+
+    def resolve(name):
+        if name not in cache:
+            graph = GALLERY[name][0]()
+            vectors = probe_vectors(graph)
+            cache[name] = (
+                graph,
+                vectors,
+                backend_for("reference").evaluate_batch(graph, vectors, None),
+            )
+        return cache[name]
+
+    return resolve
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("case", GALLERY_CASES)
+def test_eval_results_match_reference(backend_name, case, reference_results):
+    """Every backend returns the reference EvalResults, lane for lane."""
+    graph, vectors, expected = reference_results(case)
+    backend = backend_for(backend_name)
+    results = backend.evaluate_batch(graph, vectors, None)
+    assert len(results) == len(expected)
+    for got, want in zip(results, expected):
+        assert isinstance(got, EvalResult)
+        assert isinstance(got.throughput, Fraction)
+        assert got.throughput == want.throughput
+        assert got.states_stored == want.states_stored
+        assert got.deadlocked == want.deadlocked
+        # Blocking data is optional per backend, but never wrong.
+        if got.space_blocked is not None:
+            assert got.space_blocked == want.space_blocked
+            assert got.space_deficits == want.space_deficits
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_explicit_observe_matches_reference(backend_name):
+    """Observing a non-default actor agrees across backends too."""
+    graph = fig1_example()
+    vectors = probe_vectors(graph, count=5)
+    observe = graph.actor_names[0]
+    expected = backend_for("reference").evaluate_batch(graph, vectors, observe)
+    results = backend_for(backend_name).evaluate_batch(graph, vectors, observe)
+    assert [(r.throughput, r.states_stored, r.deadlocked) for r in results] == [
+        (r.throughput, r.states_stored, r.deadlocked) for r in expected
+    ]
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_empty_wave_is_empty(backend_name):
+    assert backend_for(backend_name).evaluate_batch(fig1_example(), [], None) == []
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_unbounded_channels(backend_name):
+    """Channels omitted from the mapping are unbounded.
+
+    The feedback edge keeps the token population finite, so the run
+    still reaches a periodic phase and all backends agree on it.
+    """
+    from repro.graph.builder import GraphBuilder
+
+    graph = (
+        GraphBuilder("feedback")
+        .actors({"p": 2, "q": 3})
+        .channel("p", "q", 1, 1, name="data")
+        .channel("q", "p", 1, 1, initial_tokens=2, name="credit")
+        .build()
+    )
+    waves = [
+        {"credit": 2},  # "data" unbounded
+        {"data": 2, "credit": 2},
+        {},  # everything unbounded
+    ]
+    expected = backend_for("reference").evaluate_batch(graph, waves, None)
+    results = backend_for(backend_name).evaluate_batch(graph, waves, None)
+    assert [(r.throughput, r.states_stored, r.deadlocked) for r in results] == [
+        (r.throughput, r.states_stored, r.deadlocked) for r in expected
+    ]
+
+
+def normalised(stats):
+    """ExplorationStats minus the how-probes-ran dimensions.
+
+    Wall time, the backend label and pool health are allowed to differ
+    between backends; every counter that feeds papers' tables (probe
+    counts, cache hits, prunes, oracle and batching behaviour) is not.
+    """
+    return replace(
+        stats,
+        wall_time_s=0.0,
+        backend=None,
+        pool_restarts=0,
+        pool_fallback_reason=None,
+        parallel_batches=0,
+    )
+
+
+EXPLORE_CASES = [
+    pytest.param("fig1", "divide", marks=()),
+    pytest.param("fig6", "dependency", marks=()),
+    pytest.param("samplerate", "divide", marks=pytest.mark.slow),
+]
+
+
+def _explore(case, strategy, backend):
+    from repro.runtime.config import ExplorationConfig
+
+    return explore_design_space(
+        GALLERY[case][0](),
+        strategy=strategy,
+        config=ExplorationConfig(backend=backend, batch=8, bounds=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def expected_exploration():
+    """Reference-backend exploration per case, computed once per module."""
+    cache = {}
+
+    def resolve(case, strategy):
+        if (case, strategy) not in cache:
+            cache[case, strategy] = _explore(case, strategy, "reference")
+        return cache[case, strategy]
+
+    return resolve
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("case,strategy", EXPLORE_CASES)
+def test_exploration_matches_reference_backend(
+    backend_name, case, strategy, expected_exploration
+):
+    """Fronts, witnesses and normalised stats are backend-independent.
+
+    Batching is driven by ``config.batch`` alone (loop backends simply
+    loop within one call), so at a fixed config the wave structure —
+    and with it every exploration counter — is identical no matter
+    which backend executes the lanes.  The reference backend's own row
+    doubles as a determinism check (two independent runs must agree).
+    """
+    expected = expected_exploration(case, strategy)
+    result = _explore(case, strategy, backend_name)
+    assert [(p.size, p.throughput, p.witnesses) for p in result.front] == [
+        (p.size, p.throughput, p.witnesses) for p in expected.front
+    ]
+    assert result.max_throughput == expected.max_throughput
+    assert normalised(result.stats) == normalised(expected.stats)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("seed", [7, 23, 2006])
+def test_random_graphs_match_reference(backend_name, seed):
+    """Conformance holds beyond the gallery: random consistent graphs."""
+    graph = random_consistent_graph(
+        random.Random(seed), max_actors=4, max_repetition=3, max_rate_factor=1
+    )
+    vectors = probe_vectors(graph, count=6)
+    expected = backend_for("reference").evaluate_batch(graph, vectors, None)
+    results = backend_for(backend_name).evaluate_batch(graph, vectors, None)
+    assert [(r.throughput, r.states_stored, r.deadlocked) for r in results] == [
+        (r.throughput, r.states_stored, r.deadlocked) for r in expected
+    ]
+
+
+# -- CSDF cases ---------------------------------------------------------
+#
+# Probe backends take SDF graphs; the CSDF executor covers the
+# cyclo-static superset.  A single-phase CSDF lift of an SDF graph is
+# semantically the *same* graph, so every backend must agree with
+# CSDFExecutor on the lifted gallery — anchoring the backend seam to
+# the CSDF layer's independent implementation.
+
+CSDF_CASES = [
+    pytest.param("fig1", marks=()),
+    pytest.param("fig6", marks=()),
+    pytest.param("modem", marks=pytest.mark.slow),
+]
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("case", CSDF_CASES)
+def test_csdf_lift_agrees(backend_name, case):
+    graph = GALLERY[case][0]()
+    lifted = from_sdf(graph)
+    vectors = probe_vectors(graph, count=5)
+    results = backend_for(backend_name).evaluate_batch(graph, vectors, None)
+    for capacities, result in zip(vectors, results):
+        csdf = CSDFExecutor(lifted, capacities).run()
+        assert result.throughput == csdf.throughput
+        assert result.deadlocked == csdf.deadlocked

@@ -9,6 +9,10 @@ from fractions import Fraction
 
 import pytest
 
+# Full BML99 + H.263 explorations: the heaviest workloads in the tree,
+# excluded from the fast tier-1 CI job.
+pytestmark = pytest.mark.slow
+
 from repro.buffers.explorer import explore_design_space
 from repro.engine.executor import Executor
 from repro.gallery import (

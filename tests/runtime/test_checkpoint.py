@@ -85,6 +85,7 @@ class TestRoundTripIdentity:
         assert fronts_identical(resumed.front, full.front)
         assert resumed.max_throughput == full.max_throughput
 
+    @pytest.mark.slow
     def test_sample_rate_converter_round_trip(self, tmp_path):
         graph = gallery_graph("samplerate")
         full = explore_design_space(graph)
@@ -94,6 +95,7 @@ class TestRoundTripIdentity:
         assert fronts_identical(resumed.front, full.front)
         assert resumed.max_throughput == full.max_throughput
 
+    @pytest.mark.slow
     def test_satellite_receiver_round_trip(self, tmp_path):
         graph = gallery_graph("satellite")
         full = explore_design_space(graph)

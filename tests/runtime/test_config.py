@@ -47,6 +47,55 @@ class TestValidation:
             with pytest.raises(ExplorationError, match="budget"):
                 ExplorationConfig(evaluator=service, budget=Budget(max_probes=1))
 
+    def test_unknown_backend_raises_config_error_at_construction(self):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown probe backend 'warp'"):
+            ExplorationConfig(backend="warp")
+        # ConfigError is an ExplorationError: one catch covers both.
+        with pytest.raises(ExplorationError):
+            ExplorationConfig(backend="warp")
+
+    def test_error_lists_registered_backends(self):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="batch-numpy"):
+            ExplorationConfig(backend="warp")
+
+    def test_backend_capability_mismatch_raises_config_error(self):
+        from repro.exceptions import ConfigError
+
+        # The reference engine records blocking data; compiled-only
+        # backends cannot serve it and must be rejected up front.
+        with pytest.raises(ConfigError, match="lacks the blocking capability"):
+            ExplorationConfig(engine="reference", backend="fastcore")
+        with pytest.raises(ConfigError, match="lacks the blocking capability"):
+            ExplorationConfig(engine="reference", backend="batch-numpy")
+        # engine="fast" promises compiled probes.
+        with pytest.raises(ConfigError, match="lacks the compiled capability"):
+            ExplorationConfig(engine="fast", backend="reference")
+
+    def test_valid_backend_engine_pairs_accepted(self):
+        ExplorationConfig(backend="reference")
+        ExplorationConfig(backend="fastcore")
+        ExplorationConfig(backend="batch-numpy", batch=16)
+        ExplorationConfig(engine="reference", backend="reference")
+        ExplorationConfig(engine="fast", backend="batch-numpy")
+
+    def test_negative_batch_raises_config_error(self):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="batch must be >= 0"):
+            ExplorationConfig(batch=-1)
+
+    def test_evaluator_excludes_backend_and_batch(self):
+        graph = gallery_graph("example")
+        with EvaluationService(graph, "c") as service:
+            with pytest.raises(ExplorationError, match="backend"):
+                ExplorationConfig(evaluator=service, backend="batch-numpy")
+            with pytest.raises(ExplorationError, match="batch"):
+                ExplorationConfig(evaluator=service, batch=8)
+
     def test_replaced_returns_modified_copy(self):
         config = ExplorationConfig(workers=2)
         other = config.replaced(workers=4)
