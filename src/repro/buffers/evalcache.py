@@ -85,7 +85,7 @@ from repro.buffers.distribution import StorageDistribution
 from repro.buffers.oracle import ThroughputBoundsOracle
 from repro.buffers.search import SearchStats
 from repro.buffers.shared import dominates as _dominates
-from repro.engine.backends import ProbeBackend, backend_for
+from repro.engine.backends import ProbeBackend, backend_for, resolve_backend
 from repro.engine.executor import Executor
 from repro.engine.fastcore import ENGINES
 from repro.engine.parallel import ParallelProber, RawEvaluation
@@ -228,12 +228,11 @@ class EvaluationService:
         self.engine = config.engine
         self.telemetry = TelemetryHub(config.on_event)
         self.controller = RunController(config.budget, self.telemetry)
-        # Probe backend: explicit config.backend, else the one matching
-        # the engine selector.  Config validation already rejected
-        # unknown names and capability mismatches at construction.
-        self.backend_name = config.backend or (
-            "reference" if config.engine == "reference" else "fastcore"
-        )
+        # Probe backend: explicit config.backend, "auto" (best available
+        # on this host), or the legacy engine pairing for None.  Config
+        # validation already rejected unknown names, capability
+        # mismatches and unavailable explicit backends at construction.
+        self.backend_name = resolve_backend(config.backend, config.engine)
         self._backend: ProbeBackend = backend_for(self.backend_name)
         self.batch_size = max(0, int(config.batch))
         self.ceiling = ceiling

@@ -158,8 +158,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         metavar="NAME",
         help="probe backend from the repro.engine.backends registry"
-        " ('reference', 'fastcore', 'batch-numpy', ...); unknown names and"
-        " capability mismatches fail up front (default: matches --engine)",
+        " ('reference', 'fastcore', 'batch-numpy', 'cc', or 'auto' for the"
+        " best available on this host); unknown names, capability mismatches"
+        " and host-unavailable backends fail up front (default: matches"
+        " --engine)",
+    )
+    parser.add_argument(
+        "--codegen-cache-dir",
+        metavar="DIR",
+        help="directory for compiled 'cc' probe kernels (default:"
+        " $REPRO_CACHE_DIR/cc-kernels, else the XDG user cache)",
     )
     parser.add_argument(
         "--batch",
@@ -354,6 +362,10 @@ def _evaluate_distribution(graph: SDFGraph, arguments: argparse.Namespace, out) 
 
 def _runtime_config(arguments: argparse.Namespace) -> "ExplorationConfig":
     """Fold the runtime-related CLI flags into one ExplorationConfig."""
+    if getattr(arguments, "codegen_cache_dir", None):
+        from repro.engine import ccore
+
+        ccore.configure(cache_dir=arguments.codegen_cache_dir)
     budget = None
     if arguments.deadline is not None or arguments.max_probes is not None:
         budget = Budget(deadline_s=arguments.deadline, max_probes=arguments.max_probes)

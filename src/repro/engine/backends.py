@@ -80,6 +80,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.engine import ccore
 from repro.engine import executor as _reference
 from repro.engine.executor import (
     _DEFAULT_STALL_THRESHOLD,
@@ -171,6 +172,76 @@ def backend_for(name: str) -> ProbeBackend:
             f"unknown probe backend {name!r}; registered backends:"
             f" {', '.join(sorted(_BACKENDS))}"
         ) from None
+
+
+def backend_availability(backend: ProbeBackend) -> str | None:
+    """``None`` when *backend* can run on this host, else the reason.
+
+    Backends advertise host constraints through an optional
+    ``availability()`` method (the ``cc`` backend probes for a working
+    C compiler); backends without one are always available.
+    """
+    probe = getattr(backend, "availability", None)
+    if probe is None:
+        return None
+    return probe()
+
+
+def backend_descriptions() -> list[dict]:
+    """One JSON-friendly row per registered backend, registration order.
+
+    The shared rendering behind ``GET /backends`` and the ``repro
+    backends`` CLI verb: name, sorted capabilities, availability on
+    *this* host and — when unavailable — the human-readable reason.
+    """
+    rows = []
+    for name in backend_names():
+        backend = _BACKENDS[name]
+        reason = backend_availability(backend)
+        rows.append(
+            {
+                "name": name,
+                "capabilities": sorted(backend.capabilities),
+                "available": reason is None,
+                "reason": reason,
+            }
+        )
+    return rows
+
+
+#: Preference order of ``backend="auto"``: the compiled C kernel where
+#: a compiler exists, the numpy lane kernel otherwise, and the plain
+#: compiled-Python kernel as the floor.  All exact — auto only ever
+#: trades speed.
+_AUTO_PREFERENCE = ("cc", "batch-numpy", "fastcore")
+
+
+def resolve_backend(name: str | None, engine: str = "auto") -> str:
+    """Resolve a config ``backend`` selector to a registered name.
+
+    ``None`` keeps the legacy engine pairing (``"reference"`` for the
+    reference engine, ``"fastcore"`` otherwise).  ``"auto"`` picks the
+    best *available* backend on this host in :data:`_AUTO_PREFERENCE`
+    order — except under ``engine="reference"``, which requires the
+    blocking-instrumented reference backend.  Explicit names resolve to
+    themselves after an availability check, so asking for a backend the
+    host cannot run fails loudly instead of degrading silently.
+    """
+    if name is None:
+        return "reference" if engine == "reference" else "fastcore"
+    if name == "auto":
+        if engine == "reference":
+            return "reference"
+        for candidate in _AUTO_PREFERENCE:
+            if candidate not in _BACKENDS:
+                continue
+            if backend_availability(_BACKENDS[candidate]) is None:
+                return candidate
+        return "reference"
+    reason = backend_availability(backend_for(name))
+    if reason is not None:
+        raise ConfigError(f"probe backend {name!r} is unavailable: {reason}")
+    return name
 
 
 # ---------------------------------------------------------------------------
@@ -527,6 +598,69 @@ class BatchNumpyBackend:
         return kernel.run_lanes(rows)
 
 
+# ---------------------------------------------------------------------------
+# The compiled C backend ("buffy-native")
+# ---------------------------------------------------------------------------
+
+
+class CcBackend:
+    """Per-graph compiled C kernels (the paper's ``buffy`` idea, live).
+
+    Each ``(graph, observe)`` pair is specialised into a self-contained
+    C translation unit (:func:`repro.codegen.cgen.generate_kernel_c`),
+    compiled once with the platform ``cc`` and cached on disk
+    content-addressed by fingerprint + layout + codegen version —
+    :mod:`repro.engine.ccore` owns that compile plane.  The kernel's
+    batched ``probe_many_exact`` entry point evaluates a whole wave of
+    capacity vectors per call and returns integer cycle measurements;
+    throughput is reconstructed host-side as the exact
+    ``Fraction(firings, duration)``, so results stay bit-identical to
+    the reference executor.
+
+    On hosts without a working C compiler the backend reports itself
+    unavailable (:meth:`availability`): ``backend="auto"`` skips it and
+    requesting it explicitly raises
+    :class:`~repro.exceptions.ConfigError`.
+    """
+
+    name = "cc"
+    capabilities = frozenset({"exact", "compiled", "lanes"})
+
+    def availability(self) -> str | None:
+        """``None`` when a working C compiler exists, else the reason."""
+        return ccore.availability()
+
+    def evaluate_batch(
+        self,
+        graph: SDFGraph,
+        vectors: Sequence[Mapping[str, int]],
+        observe: str | None = None,
+    ) -> list[EvalResult]:
+        if not vectors:
+            return []
+        kernel = ccore.kernel_for(graph, observe)
+        rows = [
+            validate_capacities(graph, capacities, kernel.channel_index)
+            for capacities in vectors
+        ]
+        # Read the guards through the reference module at call time so
+        # tests patching them cover this engine too (as fastcore does).
+        raw = kernel.run_lanes(
+            rows,
+            stall_threshold=_DEFAULT_STALL_THRESHOLD,
+            max_firings=_reference._MAX_FIRINGS_PER_INSTANT,
+        )
+        return [
+            EvalResult(
+                Fraction(0) if deadlocked else Fraction(firings, duration),
+                states,
+                deadlocked,
+            )
+            for firings, duration, states, deadlocked in raw
+        ]
+
+
 register_backend(ReferenceBackend())
 register_backend(FastcoreBackend())
 register_backend(BatchNumpyBackend())
+register_backend(CcBackend())

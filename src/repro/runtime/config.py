@@ -108,13 +108,18 @@ class ExplorationConfig:
     backend:
         Probe backend name from the :mod:`repro.engine.backends`
         registry (``"reference"``, ``"fastcore"``, ``"batch-numpy"``,
-        or any backend registered by the application).  ``None`` picks
-        the backend matching ``engine`` (``"reference"`` for the
-        reference engine, ``"fastcore"`` otherwise).  Unknown names and
-        backends lacking a capability the selected engine requires
-        raise :class:`~repro.exceptions.ConfigError` here, at
-        construction — a run never silently degrades to a different
-        backend mid-flight.
+        ``"cc"``, or any backend registered by the application).
+        ``None`` picks the backend matching ``engine`` (``"reference"``
+        for the reference engine, ``"fastcore"`` otherwise);
+        ``"auto"`` picks the best backend *available on this host*
+        (the compiled ``cc`` kernel where a C compiler exists, the
+        numpy lane kernel otherwise) — all exact, so auto only ever
+        trades speed.  Unknown names, backends lacking a capability
+        the selected engine requires, and backends the host cannot run
+        (e.g. ``"cc"`` without a C compiler) raise
+        :class:`~repro.exceptions.ConfigError` here, at construction —
+        a run never silently degrades to a different backend
+        mid-flight.
     batch:
         Probe wave width.  ``0`` (default) keeps the classic per-probe
         evaluation path; ``batch >= 1`` makes the scan and speculation
@@ -148,10 +153,12 @@ class ExplorationConfig:
             raise ExplorationError("workers must be >= 1")
         if int(self.batch) < 0:
             raise ConfigError("batch must be >= 0 (0 disables wave batching)")
-        if self.backend is not None:
+        if self.backend is not None and self.backend != "auto":
             # Imported lazily so building a default config stays
             # import-light (no numpy pull-in for plain explorations).
-            from repro.engine.backends import backend_for
+            # "auto" needs no validation: it resolves per host to an
+            # available backend satisfying the engine's capabilities.
+            from repro.engine.backends import backend_availability, backend_for
 
             backend = backend_for(self.backend)  # unknown name -> ConfigError
             required = _REQUIRED_CAPABILITIES.get(self.engine, frozenset())
@@ -162,6 +169,13 @@ class ExplorationConfig:
                     f" {', '.join(sorted(missing))} capability required by"
                     f" engine={self.engine!r} (backend capabilities:"
                     f" {', '.join(sorted(backend.capabilities)) or 'none'})"
+                )
+            reason = backend_availability(backend)
+            if reason is not None:
+                raise ConfigError(
+                    f"probe backend {self.backend!r} is unavailable on this"
+                    f" host: {reason}. Use backend='auto' to pick the best"
+                    " available backend instead."
                 )
         if self.max_pool_restarts < 0:
             raise ExplorationError("max_pool_restarts must be >= 0")

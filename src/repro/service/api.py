@@ -21,6 +21,11 @@ Endpoints
 ``DELETE /jobs/<id>``
     Cancels the job (HTTP 409 if already terminal); an in-flight DSE
     ends ``cancelled`` with its exact partial result.
+``GET /backends``
+    The probe-backend registry as seen by *this* host: name,
+    capabilities, availability and — when unavailable — the reason
+    (e.g. ``cc`` without a C compiler).  Mirrors the ``repro
+    backends`` CLI verb.
 ``GET /healthz``
     Liveness: uptime, job counts, queue depth.
 ``GET /metrics``
@@ -101,6 +106,8 @@ class AnalysisApi:
             return self._healthz()
         if method == "GET" and path == "/metrics":
             return self._metrics()
+        if method == "GET" and path == "/backends":
+            return self._backends()
         if method == "POST" and path == "/graphs":
             return self._post_graph(self._json_body(body))
         if method == "GET" and path == "/graphs":
@@ -174,6 +181,11 @@ class AnalysisApi:
             }
         )
 
+    def _backends(self) -> ApiResponse:
+        from repro.engine.backends import backend_descriptions
+
+        return ApiResponse.json({"backends": backend_descriptions()})
+
     def _metrics(self) -> ApiResponse:
         gauges = [("queue_depth", {}, float(self.manager.queue_depth))]
         for state, count in sorted(self.manager.states_count().items()):
@@ -196,6 +208,20 @@ class AnalysisApi:
         gauges.append(("batch_calls", {}, calls))
         gauges.append(("batch_lanes", {}, lanes))
         gauges.append(("batch_occupancy", {}, lanes / calls if calls else 0.0))
+        # Compiled-C probe plane: compile/cache activity is process-wide
+        # (kernels are shared across jobs), so the gauges read the ccore
+        # hub rather than the per-manager one.
+        from repro.engine import ccore
+
+        cc_counters = ccore.telemetry.counters
+        for counter in (
+            "cc_compiles",
+            "cc_cache_hits",
+            "cc_compile_failures",
+            "cc_cache_corrupt",
+            "cc_cache_evictions",
+        ):
+            gauges.append((counter, {}, float(cc_counters.get(counter, 0))))
         return ApiResponse.text(
             to_prometheus(self.manager.telemetry, gauges=gauges)
         )

@@ -15,6 +15,12 @@ Three verbs:
 ``repro jobs``
     List jobs, show one job, or cancel one (``--cancel``).
 
+``repro backends``
+    Show the probe-backend registry: capabilities and availability on
+    this host (or, with ``--url``, on a running server's host) — the
+    quickest way to see whether the compiled ``cc`` backend found a C
+    compiler.
+
 Examples
 --------
 ::
@@ -23,6 +29,7 @@ Examples
     repro submit gallery:example --observe c --wait
     repro submit gallery:modem --kind minimal-distribution --throughput 1/20
     repro jobs --url http://127.0.0.1:8000
+    repro backends
 """
 
 from __future__ import annotations
@@ -86,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--url", default=DEFAULT_URL, help=f"server base URL (default: {DEFAULT_URL})")
     jobs.add_argument("--cancel", action="store_true", help="cancel the given job")
     jobs.add_argument("--json", action="store_true", help="print raw JSON")
+
+    backends = commands.add_parser(
+        "backends", help="show probe backends: capabilities and availability"
+    )
+    backends.add_argument(
+        "--url",
+        metavar="URL",
+        help="query a running server instead of this host's registry",
+    )
+    backends.add_argument("--json", action="store_true", help="print raw JSON")
     return parser
 
 
@@ -96,6 +113,8 @@ def main(argv: list[str] | None = None) -> int:
             return _serve(arguments)
         if arguments.command == "submit":
             return _submit(arguments)
+        if arguments.command == "backends":
+            return _backends(arguments)
         return _jobs(arguments)
     except ReproError as error:
         print(f"repro: error: {error}", file=sys.stderr)
@@ -213,6 +232,24 @@ def _jobs(arguments: argparse.Namespace) -> int:
             f"{job['id']}  {job['state']:<9}  {job['kind']:<20}"
             f"  graph {job['graph'][:12]}  observe {job['observe']}"
         )
+    return 0
+
+
+def _backends(arguments: argparse.Namespace) -> int:
+    if arguments.url:
+        from repro.service.client import ServiceClient
+
+        rows = ServiceClient(arguments.url).backends()
+    else:
+        from repro.engine.backends import backend_descriptions
+
+        rows = backend_descriptions()
+    if arguments.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    for row in rows:
+        status = "available" if row["available"] else f"unavailable — {row['reason']}"
+        print(f"{row['name']}: {status}  [{', '.join(row['capabilities'])}]")
     return 0
 
 

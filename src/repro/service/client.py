@@ -124,6 +124,12 @@ class ServiceClient:
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def backends(self) -> list[dict]:
+        """The server's probe-backend registry (``GET /backends``):
+        per backend its name, capabilities and availability on the
+        *server's* host — e.g. whether ``cc`` found a C compiler."""
+        return self._request("GET", "/backends")["backends"]
+
     def metrics(self) -> str:
         """The raw Prometheus text exposition of ``GET /metrics``."""
         request = urllib.request.Request(f"{self.base_url}/metrics")

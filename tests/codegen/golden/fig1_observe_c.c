@@ -1,0 +1,74 @@
+/* Generated explorer for SDF graph 'example' (observing 'c').
+   Style of Fig. 8 of Stuijk/Geilen/Basten, DAC 2006. */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define CH(c) (sdfState.ch[c])
+#define CHECK_TOKENS(c,n) (CH(c) >= (n))
+#define CHECK_SPACE(c,n) (sz[c] - CH(c) >= (n))
+#define CONSUME(c,n) CH(c) = CH(c) - (n);
+#define PRODUCE(c,n) CH(c) = CH(c) + (n);
+#define ACT_CLK(a) (sdfState.act_clk[a])
+#define LOWER_CLK(a) if (ACT_CLK(a) > 0) { ACT_CLK(a) = ACT_CLK(a) - 1; }
+
+static int sz[2];  /* storage distribution */
+
+typedef struct State {
+    int act_clk[3];
+    int ch[2];
+    int dist;
+} State;
+
+static State sdfState;
+
+/* The paper's figure assumes a framework-provided storeState();
+   this self-contained version implements it as a growable
+   visited-state store with linear lookup.  Returning 1 closes
+   the periodic phase (state recurrence). */
+#define MAX_STATES 65536
+static State stored[MAX_STATES];
+static int storedCount = 0;
+static int cycleStart = -1;
+
+static int storeState(State s) {
+    for (int i = 0; i < storedCount; i++) {
+        if (memcmp(&stored[i], &s, sizeof(State)) == 0) { cycleStart = i; return 1; }
+    }
+    if (storedCount < MAX_STATES) { stored[storedCount] = s; storedCount = storedCount + 1; }
+    return 0;
+}
+
+int execSDFgraph() {
+    while (1) {
+        LOWER_CLK(0); LOWER_CLK(1); LOWER_CLK(2);
+        sdfState.dist = sdfState.dist + 1;
+
+        if (ACT_CLK(0) == 0 && CHECK_SPACE(0,2)) { ACT_CLK(0) = 1; }  /* start a */
+        if (ACT_CLK(1) == 0 && CHECK_TOKENS(0,3) && CHECK_SPACE(1,1)) { ACT_CLK(1) = 2; }  /* start b */
+        if (ACT_CLK(2) == 0 && CHECK_TOKENS(1,2)) { ACT_CLK(2) = 2; }  /* start c */
+
+        if (ACT_CLK(0) == 1) { PRODUCE(0,2); }  /* end a */
+        if (ACT_CLK(1) == 1) { CONSUME(0,3); PRODUCE(1,1); }  /* end b */
+        if (ACT_CLK(2) == 1) { CONSUME(1,2); if (storeState(sdfState)) return 1; sdfState.dist = 0; }  /* end c */
+
+        if (ACT_CLK(0) == 0 && ACT_CLK(1) == 0 && ACT_CLK(2) == 0) { return 0; }  /* deadlock: nothing running or enabled */
+    }
+}
+
+int main(int argc, char **argv) {
+    for (int c = 0; c < 2; c++) {
+        sz[c] = (c + 1 < argc) ? atoi(argv[c + 1]) : (1 << 30);
+    }
+    memset(&sdfState, 0, sizeof(State));
+    if (execSDFgraph()) {
+        int firings = storedCount - cycleStart;
+        int duration = sdfState.dist;
+        for (int i = cycleStart + 1; i < storedCount; i++) { duration += stored[i].dist; }
+        printf("throughput %d/%d (%d states)\n", firings, duration, storedCount);
+    } else {
+        printf("deadlock\n");
+    }
+    return 0;
+}

@@ -24,7 +24,12 @@ import pytest
 from repro.buffers.explorer import explore_design_space
 from repro.csdf.executor import CSDFExecutor
 from repro.csdf.graph import from_sdf
-from repro.engine.backends import EvalResult, backend_for, backend_names
+from repro.engine.backends import (
+    EvalResult,
+    backend_availability,
+    backend_for,
+    backend_names,
+)
 from repro.gallery import (
     fig1_example,
     fig6_example,
@@ -35,7 +40,17 @@ from repro.gallery import (
     satellite_receiver,
 )
 
-BACKENDS = backend_names()
+# Host-unavailable backends (e.g. "cc" without a C compiler) skip with
+# the availability reason instead of silently vanishing from the matrix.
+BACKENDS = [
+    pytest.param(
+        name,
+        marks=()
+        if (reason := backend_availability(backend_for(name))) is None
+        else pytest.mark.skip(reason=f"backend {name!r} unavailable: {reason}"),
+    )
+    for name in backend_names()
+]
 
 #: Gallery cases: name -> (graph factory, heavy?).  Heavy graphs only
 #: run in the full (non-tier-1) CI job.

@@ -1,0 +1,224 @@
+"""Compile plane of the ``cc`` backend: caching, eviction, recovery,
+compiler discovery and graceful degradation.
+
+Everything runs against a per-test cache directory (autouse fixture),
+so these tests never touch — or depend on — the user's real kernel
+cache, and counters always start from zero.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import ccore
+from repro.engine.backends import backend_for, resolve_backend
+from repro.exceptions import ConfigError
+from repro.gallery import fig1_example, modem
+
+HAVE_CC = ccore.compiler_probe()[0] is not None
+needs_cc = pytest.mark.skipif(
+    not HAVE_CC, reason=f"no C compiler: {ccore.compiler_probe()[1]}"
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path):
+    """Point the kernel cache at a throwaway directory and zero the
+    counters; restore the module's default state afterwards."""
+    ccore.configure(cache_dir=tmp_path / "kernels")
+    ccore.reset(counters=True)
+    yield tmp_path / "kernels"
+    ccore.configure(cache_dir=None, max_bytes=None)
+    ccore.reset(counters=True)
+
+
+def probe(graph, capacities):
+    backend = backend_for("cc")
+    return backend.evaluate_batch(graph, [capacities], None)[0]
+
+
+# ---------------------------------------------------------------------------
+# Caching
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+def test_second_run_is_all_cache_hits():
+    """The acceptance criterion: a repeated run compiles nothing."""
+    graph = fig1_example()
+    first = probe(graph, {"alpha": 4, "beta": 2})
+    assert ccore.telemetry.counters["cc_compiles"] == 1
+    assert "cc_cache_hits" not in ccore.telemetry.counters
+
+    # Drop the in-process handles (as a new process would) but keep the
+    # disk cache and counters.
+    ccore.reset()
+    second = probe(fig1_example(), {"alpha": 4, "beta": 2})
+    assert second == first
+    assert ccore.telemetry.counters["cc_compiles"] == 1  # unchanged
+    assert ccore.telemetry.counters["cc_cache_hits"] == 1
+
+
+@needs_cc
+def test_in_process_handle_cache_skips_disk():
+    graph = fig1_example()
+    probe(graph, {"alpha": 4, "beta": 2})
+    probe(graph, {"alpha": 5, "beta": 3})
+    counters = ccore.telemetry.counters
+    assert counters["cc_compiles"] == 1
+    assert "cc_cache_hits" not in counters  # second probe reused the handle
+
+
+@needs_cc
+def test_cache_key_covers_observe_and_version(monkeypatch):
+    graph = fig1_example()
+    base = ccore.cache_key(graph, "c")
+    assert ccore.cache_key(graph, "b") != base
+    assert ccore.cache_key(fig1_example(), "c") == base  # content-addressed
+    from repro.codegen import cgen
+
+    monkeypatch.setattr(cgen, "CODEGEN_VERSION", "cc-test-bump")
+    assert ccore.cache_key(graph, "c") != base
+
+
+@needs_cc
+def test_cache_dir_resolution(monkeypatch, tmp_path):
+    # configure() override wins over everything.
+    assert ccore.cache_dir() == tmp_path / "kernels"
+    ccore.configure(cache_dir=None)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+    assert ccore.cache_dir() == tmp_path / "env" / "cc-kernels"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert ccore.cache_dir() == tmp_path / "xdg" / "repro" / "cc-kernels"
+
+
+# ---------------------------------------------------------------------------
+# Hygiene: eviction + corrupt-entry recovery
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+def test_lru_eviction_is_size_bounded(isolated_cache):
+    probe(fig1_example(), {"alpha": 4, "beta": 2})
+    so = next(isolated_cache.glob("*.so"))
+    pair_size = so.stat().st_size + so.with_suffix(".c").stat().st_size
+    # Room for roughly one pair: compiling a second graph must evict
+    # the first (LRU), never the entry just stored.
+    ccore.configure(cache_dir=isolated_cache, max_bytes=pair_size + 1024)
+    os.utime(so, (1, 1))  # make the first entry unambiguously oldest
+    probe(modem(), dict.fromkeys(modem().channel_names, 4))
+    assert ccore.telemetry.counters["cc_cache_evictions"] == 1
+    assert not so.exists()
+    assert len(list(isolated_cache.glob("*.so"))) == 1
+
+
+@needs_cc
+def test_corrupt_cache_entry_recovers(isolated_cache):
+    """A truncated/garbage shared object (as a crashed writer or disk
+    fault would leave behind) is dropped and recompiled, not fatal."""
+    graph = fig1_example()
+    key = ccore.cache_key(graph, "c")
+    isolated_cache.mkdir(parents=True)
+    (isolated_cache / f"{key}.so").write_bytes(b"\x7fELF not really")
+    result = probe(graph, {"alpha": 4, "beta": 2})
+    assert str(result.throughput) == "1/7"
+    counters = ccore.telemetry.counters
+    assert counters["cc_cache_corrupt"] == 1
+    assert counters["cc_cache_hits"] == 1  # the lookup that found garbage
+    assert counters["cc_compiles"] == 1  # the recovery compile
+
+
+@needs_cc
+def test_foreign_binary_entry_recovers(isolated_cache):
+    """A *valid* shared object for the wrong graph under the key (hash
+    collision, botched sync) fails the shape handshake and recompiles."""
+    import shutil as _shutil
+
+    other = modem()
+    probe(other, dict.fromkeys(other.channel_names, 4))  # a real kernel
+    foreign = next(isolated_cache.glob("*.so"))
+    graph = fig1_example()
+    key = ccore.cache_key(graph, "c")
+    _shutil.copy2(foreign, isolated_cache / f"{key}.so")
+    ccore.reset(counters=True)
+    result = probe(graph, {"alpha": 4, "beta": 2})
+    assert str(result.throughput) == "1/7"
+    counters = ccore.telemetry.counters
+    assert counters["cc_cache_corrupt"] == 1
+    assert counters["cc_compiles"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Degradation without a compiler
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def broken_cc(monkeypatch):
+    """A host whose $CC resolves but cannot compile anything."""
+    monkeypatch.setenv("CC", "/bin/false")
+    ccore.reset()
+    yield
+    ccore.reset()
+
+
+def test_broken_cc_reports_unavailable(broken_cc):
+    reason = ccore.availability()
+    assert reason is not None
+    assert "/bin/false" in reason
+    assert ccore.telemetry.counters["cc_compile_failures"] == 1
+
+
+def test_auto_falls_back_when_cc_broken(broken_cc):
+    assert resolve_backend("auto") == "batch-numpy"
+
+
+def test_explicit_cc_raises_actionable_error(broken_cc):
+    from repro.runtime.config import ExplorationConfig
+
+    with pytest.raises(ConfigError, match="unavailable"):
+        ExplorationConfig(backend="cc")
+    with pytest.raises(ConfigError, match="'cc' is unavailable"):
+        resolve_backend("cc")
+
+
+def test_broken_cc_exploration_still_completes(broken_cc):
+    """backend='auto' explorations finish on the numpy backend with the
+    failure visible only in telemetry."""
+    from repro.buffers.explorer import explore_design_space
+    from repro.runtime.config import ExplorationConfig
+
+    result = explore_design_space(
+        fig1_example(), "c", config=ExplorationConfig(backend="auto", batch=4)
+    )
+    assert [(p.size, str(p.throughput)) for p in result.front] == [
+        (6, "1/7"),
+        (8, "1/6"),
+        (9, "1/5"),
+        (10, "1/4"),
+    ]
+    assert ccore.telemetry.counters["cc_compile_failures"] == 1
+
+
+def test_missing_compiler_reason_names_candidates(monkeypatch):
+    monkeypatch.setenv("CC", "definitely-not-a-compiler-xyz")
+    ccore.reset()
+    reason = ccore.availability()
+    assert "not on PATH" in reason
+    ccore.reset()
+
+
+# ---------------------------------------------------------------------------
+# Resolution with a working compiler
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+def test_auto_prefers_cc():
+    assert resolve_backend("auto") == "cc"
+    # The reference engine still needs the blocking-instrumented backend.
+    assert resolve_backend("auto", engine="reference") == "reference"
+    assert resolve_backend(None) == "fastcore"

@@ -22,13 +22,19 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.buffers.evalcache import EvaluationService
-from repro.engine.backends import backend_for, backend_names
+from repro.engine.backends import backend_availability, backend_for, backend_names
 from repro.gallery.random_graphs import random_consistent_graph
 from repro.runtime.config import ExplorationConfig
 
 seeds = st.integers(min_value=0, max_value=10**9)
 
-BACKENDS = backend_names()
+# Only backends this host can actually run (e.g. "cc" needs a C
+# compiler); the properties loop over the list inside each example.
+BACKENDS = tuple(
+    name
+    for name in backend_names()
+    if backend_availability(backend_for(name)) is None
+)
 
 
 def small_graph(seed):

@@ -265,6 +265,31 @@ class TestObservability:
         assert "unknown probe backend 'warp'" in failed["error"]
         assert "batch-numpy" in failed["error"]
 
+    def test_backends_endpoint_lists_the_registry(self, client):
+        from repro.engine.backends import backend_names
+
+        rows = client.backends()
+        assert [row["name"] for row in rows] == list(backend_names())
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["reference"]["available"] is True
+        assert by_name["reference"]["reason"] is None
+        assert by_name["cc"]["capabilities"] == ["compiled", "exact", "lanes"]
+        # cc's availability is host-dependent, but the row is coherent:
+        # available XOR a human-readable reason.
+        cc = by_name["cc"]
+        assert cc["available"] == (cc["reason"] is None)
+
+    def test_cc_gauges_are_exposed(self, client):
+        text = client.metrics()
+        for gauge in (
+            "repro_cc_compiles",
+            "repro_cc_cache_hits",
+            "repro_cc_compile_failures",
+            "repro_cc_cache_corrupt",
+            "repro_cc_cache_evictions",
+        ):
+            assert f"{gauge} " in text
+
     def test_metrics_content_type_is_prometheus(self, server):
         response = server.api.handle("GET", "/metrics")
         assert response.content_type == "text/plain; version=0.0.4; charset=utf-8"

@@ -115,6 +115,28 @@ class TestJobsVerb:
         assert "needs a job id" in capsys.readouterr().err
 
 
+class TestBackendsVerb:
+    def test_local_listing(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "reference: available" in out
+        assert "blocking" in out
+        assert "cc:" in out  # available or unavailable — but listed
+
+    def test_local_json(self, capsys):
+        from repro.engine.backends import backend_names
+
+        assert main(["backends", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["name"] for row in rows] == list(backend_names())
+        assert all({"name", "capabilities", "available", "reason"} <= set(row) for row in rows)
+
+    def test_remote_listing_via_url(self, server, capsys):
+        assert main(["backends", "--url", server.url, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["name"] == "batch-numpy" and row["available"] for row in rows)
+
+
 class TestServeSubprocess:
     def test_serve_smoke_sigterm_drains(self, tmp_path, graph_file):
         env = dict(os.environ)
