@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.buffers.bounds import lower_bound_distribution
 from repro.buffers.explorer import explore_design_space
+from repro.runtime.config import ExplorationConfig
 from repro.engine.executor import Executor
 from repro.engine.fastcore import FastKernel
 from repro.gallery import (
@@ -100,7 +101,10 @@ def bench_exploration(name: str, repeats: int, strategy: str = "divide") -> dict
 
     def front(engine):
         result = explore_design_space(
-            graph, strategy=strategy, engine=engine, max_size=max_size
+            graph,
+            strategy=strategy,
+            max_size=max_size,
+            config=ExplorationConfig(engine=engine),
         )
         return [(point.size, point.throughput, point.distribution) for point in result.front]
 

@@ -21,6 +21,7 @@ import time
 import pytest
 
 from repro.buffers.explorer import explore_design_space
+from repro.runtime.config import ExplorationConfig
 
 WORKERS = 4
 
@@ -43,7 +44,9 @@ def test_parallel_explore_matches_serial(benchmark, graph_fixture, request):
     graph = request.getfixturevalue(graph_fixture)
     serial, serial_seconds = _timed(graph, None, workers=1, cache=False)
     parallel = benchmark(
-        lambda: explore_design_space(graph, strategy="dependency", workers=WORKERS)
+        lambda: explore_design_space(
+            graph, strategy="dependency", config=ExplorationConfig(workers=WORKERS)
+        )
     )
     assert _fingerprint(parallel.front) == _fingerprint(serial.front)
     assert parallel.stats.evaluations <= serial.stats.evaluations
@@ -53,7 +56,7 @@ def test_parallel_explore_matches_serial(benchmark, graph_fixture, request):
 def test_parallel_speedup_report(benchmark, samplerate_graph, modem_graph, satellite_graph):
     """The headline numbers: serial vs. workers=4 on each BML99 graph."""
     benchmark.pedantic(
-        lambda: explore_design_space(samplerate_graph, workers=1), rounds=1, iterations=1
+        lambda: explore_design_space(samplerate_graph), rounds=1, iterations=1
     )
     print()
     print(f"dependency-strategy exploration, workers={WORKERS}"

@@ -1,0 +1,309 @@
+"""Service load harness: mixed-class HTTP traffic against the
+overload-safe plane (PR 8).
+
+Drives a real in-process :class:`~repro.service.server.AnalysisServer`
+over HTTP through two scenarios and records per-class end-to-end
+latency percentiles (submit -> observed completion) plus success rates:
+
+``baseline``
+    Interactive point throughput queries and batch DSE jobs on the
+    paper's running example, no faults.  Everything must succeed.
+
+``overload``
+    A batch flood (chaos-injected slow jobs) plus worker kills
+    (chaos-injected failures) trip the *batch* circuit breaker while a
+    reserved bulkhead worker keeps *interactive* point queries
+    flowing.  The gate: interactive keeps succeeding, the batch
+    breaker ends open, later batch submissions are shed with
+    ``breaker_open``.
+
+Wall-clock percentiles move between machines; the CI gate
+(``benchmarks/check_service_baseline.py``) therefore checks the
+*behavioural* facts (success rates, shed counts, breaker states) and
+the internal consistency of the recorded percentiles rather than
+absolute times.
+
+Run standalone to emit ``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py \
+        --output BENCH_service.json
+
+or the quick CI variant::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py --smoke \
+        --output /tmp/BENCH_service_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ServiceError, ServiceUnavailable
+from repro.gallery import fig1_example
+from repro.io.jsonio import graph_to_dict
+from repro.service.client import ServiceClient
+from repro.service.resilience import JOB_CLASSES, Bulkhead, CircuitBreaker, RetryPolicy
+from repro.service.server import AnalysisServer
+
+#: Gates recorded into the report; check_service_baseline.py re-reads
+#: them from the baseline so bench and gate cannot drift apart.
+TARGETS = {
+    "baseline_success_min": 1.0,
+    "overload_interactive_success_min": 0.95,
+    "overload_batch_breaker": "open",
+}
+
+POINT_PARAMS = {"capacities": {"alpha": 4, "beta": 2}}
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    workers: int
+    interactive_requests: int
+    batch_requests: int
+    flood_jobs: int
+    flood_sleep_s: float
+    kill_jobs: int
+    shed_probes: int
+
+    @classmethod
+    def smoke(cls) -> "LoadConfig":
+        return cls(
+            workers=2,
+            interactive_requests=6,
+            batch_requests=4,
+            flood_jobs=3,
+            flood_sleep_s=0.4,
+            kill_jobs=3,
+            shed_probes=3,
+        )
+
+    @classmethod
+    def full(cls) -> "LoadConfig":
+        return cls(
+            workers=4,
+            interactive_requests=30,
+            batch_requests=10,
+            flood_jobs=6,
+            flood_sleep_s=1.0,
+            kill_jobs=4,
+            shed_probes=6,
+        )
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an unsorted sample list."""
+    ordered = sorted(samples)
+    rank = (len(ordered) - 1) * q
+    low, high = math.floor(rank), math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def class_stats(requests: int, latencies: list[float]) -> dict:
+    succeeded = len(latencies)
+    stats = {
+        "requests": requests,
+        "succeeded": succeeded,
+        "success_rate": round(succeeded / requests, 4) if requests else 1.0,
+    }
+    for label, q in (("p50_s", 0.50), ("p95_s", 0.95), ("p99_s", 0.99)):
+        stats[label] = round(percentile(latencies, q), 6) if latencies else None
+    return stats
+
+
+def make_breakers(**overrides) -> dict[str, CircuitBreaker]:
+    settings = dict(window=16, min_calls=3, failure_threshold=0.4, cooldown_s=30.0)
+    settings.update(overrides)
+    return {name: CircuitBreaker(name, **settings) for name in JOB_CLASSES}
+
+
+def interactive_round_trip(client: ServiceClient, fingerprint: str) -> float:
+    """One point throughput query, returning its end-to-end latency."""
+    started = time.perf_counter()
+    job = client.submit_job(
+        fingerprint, kind="throughput", observe="c", params=POINT_PARAMS
+    )
+    result = client.result(job["id"], timeout=30.0)
+    if result["throughput"] != "1/7":
+        raise ServiceError(f"fig1 point query answered {result['throughput']!r}")
+    return time.perf_counter() - started
+
+
+def run_baseline(config: LoadConfig) -> dict:
+    """Mixed traffic, no faults: both classes complete."""
+    bulkhead = Bulkhead(config.workers, reserved={"interactive": 1})
+    with AnalysisServer(
+        workers=config.workers, bulkhead=bulkhead, breakers=make_breakers()
+    ) as server:
+        client = ServiceClient(server.url, retry=RetryPolicy(attempts=3, base_s=0.05))
+        fingerprint = client.submit_graph(graph_to_dict(fig1_example()))
+
+        started = time.perf_counter()
+        batch_submitted = [
+            (time.perf_counter(), client.submit_job(fingerprint, kind="dse", observe="c"))
+            for _ in range(config.batch_requests)
+        ]
+        interactive_latencies = [
+            interactive_round_trip(client, fingerprint)
+            for _ in range(config.interactive_requests)
+        ]
+        batch_latencies = []
+        for submitted_at, job in batch_submitted:
+            final = client.wait(job["id"], timeout=60.0)
+            if final["state"] in ("done", "partial"):
+                batch_latencies.append(time.perf_counter() - submitted_at)
+        duration = time.perf_counter() - started
+
+        return {
+            "duration_s": round(duration, 3),
+            "classes": {
+                "interactive": class_stats(
+                    config.interactive_requests, interactive_latencies
+                ),
+                "batch": class_stats(config.batch_requests, batch_latencies),
+            },
+        }
+
+
+def run_overload(config: LoadConfig) -> dict:
+    """Batch flood + chaos kills; interactive must keep flowing."""
+    bulkhead = Bulkhead(config.workers, reserved={"interactive": 1})
+    with AnalysisServer(
+        workers=config.workers,
+        bulkhead=bulkhead,
+        breakers=make_breakers(),
+        allow_chaos=True,
+    ) as server:
+        client = ServiceClient(server.url, retry=RetryPolicy(attempts=3, base_s=0.05))
+        fingerprint = client.submit_graph(graph_to_dict(fig1_example()))
+
+        started = time.perf_counter()
+        # The flood occupies every batch-capable worker; the kills
+        # queue behind it and fail, tripping the batch breaker.
+        flood = [
+            client.submit_job(
+                fingerprint,
+                kind="dse",
+                observe="c",
+                params={"chaos": f"sleep:{config.flood_sleep_s}"},
+            )
+            for _ in range(config.flood_jobs)
+        ]
+        kills = [
+            client.submit_job(
+                fingerprint, kind="dse", observe="c", params={"chaos": "fail"}
+            )
+            for _ in range(config.kill_jobs)
+        ]
+
+        interactive_latencies = []
+        interactive_errors = 0
+        for _ in range(config.interactive_requests):
+            try:
+                interactive_latencies.append(
+                    interactive_round_trip(client, fingerprint)
+                )
+            except ServiceError:
+                interactive_errors += 1
+
+        for job in kills:
+            final = client.wait(job["id"], timeout=60.0)
+            if final["state"] != "failed":
+                raise ServiceError(f"chaos kill ended {final['state']!r}, not failed")
+
+        # With the batch breaker open, fresh batch submissions shed
+        # immediately; interactive submissions keep flowing.
+        shed_breaker_open = 0
+        blunt = ServiceClient(server.url, retry=RetryPolicy.none())
+        for _ in range(config.shed_probes):
+            try:
+                blunt.submit_job(
+                    fingerprint, kind="dse", observe="c", idempotency_key=""
+                )
+            except ServiceUnavailable as rejected:
+                if rejected.code == "breaker_open":
+                    shed_breaker_open += 1
+        duration = time.perf_counter() - started
+
+        health = client.healthz()
+        breakers = {entry["name"]: entry["state"] for entry in health["breakers"]}
+
+        for job in flood:
+            if client.job(job["id"])["state"] in ("queued", "running"):
+                client.cancel(job["id"])
+
+        requests = config.interactive_requests
+        return {
+            "duration_s": round(duration, 3),
+            "classes": {
+                "interactive": class_stats(requests, interactive_latencies),
+                "batch": class_stats(
+                    config.flood_jobs + config.kill_jobs + config.shed_probes, []
+                ),
+            },
+            "breakers": breakers,
+            "shed": {"breaker_open": shed_breaker_open},
+            "interactive_errors": interactive_errors,
+        }
+
+
+def run(smoke: bool) -> dict:
+    config = LoadConfig.smoke() if smoke else LoadConfig.full()
+    report = {
+        "schema": "repro/service-load/v1",
+        "smoke": smoke,
+        "config": {
+            "workers": config.workers,
+            "interactive_requests": config.interactive_requests,
+            "batch_requests": config.batch_requests,
+            "flood_jobs": config.flood_jobs,
+            "kill_jobs": config.kill_jobs,
+            "shed_probes": config.shed_probes,
+        },
+        "targets": dict(TARGETS),
+        "scenarios": {},
+    }
+    for name, scenario in (("baseline", run_baseline), ("overload", run_overload)):
+        print(f"running {name} scenario ...", flush=True)
+        report["scenarios"][name] = scenario(config)
+    # The overload batch column records only shed/killed traffic, so
+    # its success gate does not apply; make that explicit.
+    report["scenarios"]["overload"]["classes"]["batch"]["gated"] = False
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small, CI-sized traffic volumes"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_service.json", help="where to write the report"
+    )
+    arguments = parser.parse_args(argv)
+
+    report = run(smoke=arguments.smoke)
+    Path(arguments.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    for name, scenario in report["scenarios"].items():
+        interactive = scenario["classes"]["interactive"]
+        print(
+            f"{name}: interactive {interactive['succeeded']}/{interactive['requests']}"
+            f" ok, p50={interactive['p50_s']}s p95={interactive['p95_s']}s"
+            f" p99={interactive['p99_s']}s"
+        )
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

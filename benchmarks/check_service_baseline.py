@@ -1,0 +1,137 @@
+"""CI gate: the overload-safe service plane must keep its promises.
+
+Validates a ``bench_service_load.py`` report (``BENCH_service.json``
+or a fresh ``--smoke`` run) against the behavioural gates the report
+itself records under ``targets``:
+
+* every scenario carries per-class percentile stats with sane ordering
+  (``p50 <= p95 <= p99``),
+* the no-fault baseline scenario succeeds for both classes,
+* under overload the interactive class stays above its success floor,
+  the batch breaker ends ``open`` while interactive stays ``closed``,
+  and at least one batch submission was shed with ``breaker_open``.
+
+Absolute latencies are machine-specific and deliberately not gated;
+only internal consistency and success behaviour are.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_service_baseline.py \
+        --baseline BENCH_service.json
+    PYTHONPATH=src python benchmarks/check_service_baseline.py \
+        --baseline /tmp/BENCH_service_smoke.json --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro/service-load/v1"
+PERCENTILES = ("p50_s", "p95_s", "p99_s")
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_class(scenario: str, name: str, stats: dict) -> str | None:
+    for field in ("requests", "succeeded", "success_rate", *PERCENTILES):
+        if field not in stats:
+            return f"{scenario}/{name}: missing field {field!r}"
+    if stats["succeeded"] > stats["requests"]:
+        return f"{scenario}/{name}: more successes than requests"
+    recorded = [stats[p] for p in PERCENTILES if stats[p] is not None]
+    if any(value < 0 for value in recorded):
+        return f"{scenario}/{name}: negative latency percentile"
+    if recorded != sorted(recorded):
+        return f"{scenario}/{name}: percentiles not monotone: {recorded}"
+    if stats["succeeded"] and len(recorded) != len(PERCENTILES):
+        return f"{scenario}/{name}: successes recorded but percentiles missing"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="BENCH_service.json", help="benchmark report to validate"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="expect a --smoke report (fresh CI run) instead of the committed full run",
+    )
+    arguments = parser.parse_args(argv)
+
+    path = Path(arguments.baseline)
+    if not path.exists():
+        return fail(f"{path} does not exist; run bench_service_load.py first")
+    report = json.loads(path.read_text(encoding="utf-8"))
+
+    if report.get("schema") != SCHEMA:
+        return fail(f"schema {report.get('schema')!r} != {SCHEMA!r}")
+    if bool(report.get("smoke")) != arguments.smoke:
+        expected = "--smoke" if arguments.smoke else "a full run"
+        return fail(f"report smoke={report.get('smoke')!r} but the gate expects {expected}")
+
+    targets = report.get("targets") or {}
+    for key in ("baseline_success_min", "overload_interactive_success_min"):
+        if key not in targets:
+            return fail(f"targets missing {key!r}")
+
+    scenarios = report.get("scenarios") or {}
+    for scenario in ("baseline", "overload"):
+        if scenario not in scenarios:
+            return fail(f"missing scenario {scenario!r}")
+        classes = scenarios[scenario].get("classes") or {}
+        for name in ("interactive", "batch"):
+            if name not in classes:
+                return fail(f"{scenario}: missing class {name!r}")
+            problem = check_class(scenario, name, classes[name])
+            if problem:
+                return fail(problem)
+
+    floor = float(targets["baseline_success_min"])
+    for name, stats in scenarios["baseline"]["classes"].items():
+        if stats["success_rate"] < floor:
+            return fail(
+                f"baseline/{name}: success rate {stats['success_rate']} < {floor}"
+            )
+
+    overload = scenarios["overload"]
+    interactive = overload["classes"]["interactive"]
+    floor = float(targets["overload_interactive_success_min"])
+    if interactive["success_rate"] < floor:
+        return fail(
+            "overload/interactive: success rate"
+            f" {interactive['success_rate']} < {floor} — the bulkhead is not"
+            " protecting the interactive lane"
+        )
+    breakers = overload.get("breakers") or {}
+    if breakers.get("batch") != targets.get("overload_batch_breaker", "open"):
+        return fail(
+            f"overload: batch breaker ended {breakers.get('batch')!r}, expected open"
+        )
+    if breakers.get("interactive") != "closed":
+        return fail(
+            "overload: interactive breaker ended"
+            f" {breakers.get('interactive')!r} — batch faults leaked across classes"
+        )
+    shed = (overload.get("shed") or {}).get("breaker_open", 0)
+    if shed < 1:
+        return fail("overload: no batch submission was shed with breaker_open")
+
+    print(
+        f"OK: baseline {scenarios['baseline']['classes']['interactive']['success_rate']:.0%}"
+        f" interactive / {scenarios['baseline']['classes']['batch']['success_rate']:.0%}"
+        f" batch; overload interactive {interactive['success_rate']:.0%}"
+        f" (p99={interactive['p99_s']}s), batch breaker open, {shed} shed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

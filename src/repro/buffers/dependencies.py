@@ -125,7 +125,8 @@ def dependency_sweep(
         A budget interruption lands between probes; the sweep then
         returns everything evaluated so far with ``complete=False``.
     evaluator / engine:
-        Deprecated aliases for the config fields of the same name.
+        Removed legacy aliases: passing any of them raises
+        :class:`~repro.exceptions.ConfigError` naming the migration.
 
     A sweep without *stop_throughput* diverges on most graphs (a
     source actor that is merely *ahead* keeps hitting full channels at

@@ -191,8 +191,8 @@ class EvaluationService:
         of :func:`repro.analysis.throughput.max_throughput`), or leave
         unset / call :meth:`set_ceiling` once known.
     workers / cache / engine:
-        Deprecated aliases for the config fields of the same name; they
-        build a config under a :class:`DeprecationWarning`.
+        Removed legacy aliases: passing any of them raises
+        :class:`~repro.exceptions.ConfigError` naming the migration.
     """
 
     def __init__(

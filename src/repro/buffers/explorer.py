@@ -296,8 +296,8 @@ def explore_design_space(
         strategy replayed over it deterministically, which provably
         yields the identical front an uninterrupted run produces.
     workers / cache / engine / evaluator:
-        Deprecated aliases for the config fields of the same name;
-        they build a config under a :class:`DeprecationWarning`.
+        Removed legacy aliases: passing any of them raises
+        :class:`~repro.exceptions.ConfigError` naming the migration.
     """
     assert_consistent(graph)
     config = coerce_config(
@@ -509,8 +509,8 @@ def minimal_distribution_for_throughput(
     space needed to execute the graph at a required throughput.
     Returns ``None`` when the constraint exceeds the graph's maximal
     throughput.  Run control (engine, workers, budgets, telemetry)
-    comes from *config*; the legacy ``engine=`` keyword is a
-    deprecated alias.
+    comes from *config*; the removed legacy ``engine=`` keyword
+    raises :class:`~repro.exceptions.ConfigError`.
     """
     assert_consistent(graph)
     config = coerce_config(

@@ -111,12 +111,95 @@ class ServiceError(ReproError):
     Raised by the HTTP layer of :mod:`repro.service` for malformed
     requests, unknown graphs or jobs, and a full job queue; the
     blocking client re-raises the server's rendering of it.  Carries
-    the HTTP :attr:`status` the failure maps to.
+    the HTTP :attr:`status` the failure maps to, a machine-readable
+    :attr:`code` (the ``error.code`` field of the v1 error envelope)
+    and, when known, the :attr:`trace_id` of the failing request.
     """
 
-    def __init__(self, message: str, status: int = 400):
+    #: Default ``error.code`` per HTTP status, used when no explicit
+    #: code is given (and by the client when a legacy server omits it).
+    STATUS_CODES = {
+        400: "bad_request",
+        404: "not_found",
+        409: "conflict",
+        429: "rate_limited",
+        500: "internal",
+        503: "unavailable",
+        504: "timeout",
+    }
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        *,
+        code: str | None = None,
+        trace_id: str | None = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.code = code if code is not None else self.STATUS_CODES.get(status, "error")
+        self.trace_id = trace_id
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is shedding load (HTTP 503).
+
+    Raised for a full job queue, an open circuit breaker or a draining
+    server.  :attr:`retry_after_s` carries the server's backoff hint
+    (the ``Retry-After`` header) when one was given.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str | None = None,
+        trace_id: str | None = None,
+        retry_after_s: float | None = None,
+    ):
+        super().__init__(message, status=503, code=code or "unavailable", trace_id=trace_id)
+        self.retry_after_s = retry_after_s
+
+
+class RateLimited(ServiceError):
+    """A per-class admission cap rejected the request (HTTP 429)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        trace_id: str | None = None,
+        retry_after_s: float | None = None,
+    ):
+        super().__init__(message, status=429, code="rate_limited", trace_id=trace_id)
+        self.retry_after_s = retry_after_s
+
+
+class JobFailed(ServiceError):
+    """A job settled ``failed`` when the caller required success.
+
+    Raised client-side by :meth:`~repro.service.client.ServiceClient
+    .result`; :attr:`job` holds the full job rendering (including the
+    server's ``error`` string).
+    """
+
+    def __init__(self, message: str, job: dict | None = None):
+        super().__init__(message, status=500, code="job_failed")
+        self.job = job
+
+
+class JobPartial(ServiceError):
+    """A job settled ``partial`` when the caller required completion.
+
+    The budget (deadline / probe cap) tripped; :attr:`job` carries the
+    exact partial result and the exhaustion reason, so callers can
+    resubmit with a larger budget or consume the partial front.
+    """
+
+    def __init__(self, message: str, job: dict | None = None):
+        super().__init__(message, status=206, code="job_partial")
+        self.job = job
 
 
 class AnalysisError(ReproError):

@@ -16,7 +16,7 @@ this package makes long runs *operable*:
   timers behind the CLI's ``--stats-json``.
 
 See ``docs/RUNTIME.md`` for the operator's guide and the migration
-table from the deprecated per-function keywords.
+table from the removed per-function keywords.
 """
 
 from repro.exceptions import BudgetExhausted, CheckpointError

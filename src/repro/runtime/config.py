@@ -10,15 +10,16 @@ surface with a single frozen dataclass accepted as ``config=`` by
 * :func:`repro.buffers.dependencies.find_minimal_distribution`,
 * :class:`repro.buffers.evalcache.EvaluationService`.
 
-The old keywords still work — they are a thin shim that builds a config
-and emits a :class:`DeprecationWarning` — so no caller breaks, but new
+The old keywords are gone: after a deprecation cycle (one full release
+of ``DeprecationWarning``), passing ``workers=`` / ``cache=`` /
+``engine=`` / ``evaluator=`` to an entry point now raises
+:class:`~repro.exceptions.ConfigError` naming the migration.  New
 capabilities (budgets, checkpoints, telemetry, fault-tolerance tuning)
 land on the config only.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -234,13 +235,17 @@ def coerce_config(
     evaluator: object = UNSET,
     stacklevel: int = 3,
 ) -> ExplorationConfig:
-    """Resolve the ``config=`` / legacy-kwarg shim of one entry point.
+    """Resolve the ``config=`` parameter of one entry point.
 
-    Legacy keywords passed explicitly produce a :class:`DeprecationWarning`
-    (one per call, naming the migration) and are folded into a fresh
-    config; mixing them with an explicit ``config=`` is an error, since
-    silently preferring either side would hide a real conflict.
+    The legacy keywords (``workers=``, ``cache=``, ``engine=``,
+    ``evaluator=``) went through a full release as a
+    ``DeprecationWarning`` shim; passing any of them now raises
+    :class:`~repro.exceptions.ConfigError` naming the migration.  The
+    parameters (and ``stacklevel``) survive so every entry point keeps
+    rejecting them with the same message rather than a generic
+    ``TypeError``.
     """
+    del stacklevel  # kept for signature compatibility with the shim era
     legacy = {
         name: value
         for name, value in (
@@ -253,17 +258,9 @@ def coerce_config(
     }
     if not legacy:
         return config if config is not None else ExplorationConfig()
-    if config is not None:
-        raise ExplorationError(
-            f"{caller}: pass either config= or the legacy keyword(s)"
-            f" {sorted(legacy)}, not both"
-        )
     rendered = ", ".join(f"{name}=" for name in sorted(legacy))
-    warnings.warn(
-        f"{caller}: the keyword(s) {rendered} are deprecated; pass"
+    raise ConfigError(
+        f"{caller}: the keyword(s) {rendered} were removed; pass"
         " config=ExplorationConfig(...) carrying them instead"
-        " (see docs/RUNTIME.md for the migration table)",
-        DeprecationWarning,
-        stacklevel=stacklevel,
+        " (see docs/RUNTIME.md for the migration table)"
     )
-    return ExplorationConfig(**legacy)

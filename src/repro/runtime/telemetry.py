@@ -21,7 +21,9 @@ their callback.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Mapping
 
@@ -47,7 +49,58 @@ KNOWN_EVENTS = (
     "budget_exhausted",
     "checkpoint_saved",
     "checkpoint_restored",
+    "breaker_open",
+    "breaker_half_open",
+    "breaker_close",
+    "breaker_rejected",
 )
+
+
+class TraceLog:
+    """Bounded, thread-safe log of completed request spans.
+
+    The service mints one ``trace_id`` per HTTP request and records the
+    finished span here — route, status, duration, and whatever extra
+    fields the handler attached (job id, job class).  The log is a ring:
+    the oldest span falls out once ``limit`` is reached, so memory stays
+    constant under heavy traffic.  ``GET /v1/traces[/<id>]`` serves it,
+    which is also how tests assert that a response's ``trace_id``
+    matches the server-side span.
+    """
+
+    def __init__(self, limit: int = 512):
+        if limit < 1:
+            raise ValueError("trace log limit must be >= 1")
+        self.limit = int(limit)
+        self._lock = threading.Lock()
+        self._spans: "OrderedDict[str, dict]" = OrderedDict()
+
+    def record(self, trace_id: str, name: str, **data: object) -> dict:
+        """Record (or update) the span for *trace_id*; returns the span."""
+        with self._lock:
+            span = self._spans.pop(trace_id, None)
+            if span is None:
+                span = {"trace_id": trace_id, "name": name}
+            span.update(data)
+            span["name"] = name
+            self._spans[trace_id] = span
+            while len(self._spans) > self.limit:
+                self._spans.popitem(last=False)
+            return dict(span)
+
+    def get(self, trace_id: str) -> dict | None:
+        with self._lock:
+            span = self._spans.get(trace_id)
+            return dict(span) if span is not None else None
+
+    def spans(self) -> list[dict]:
+        """All retained spans, oldest first."""
+        with self._lock:
+            return [dict(span) for span in self._spans.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
 
 
 @dataclass(frozen=True)
@@ -80,12 +133,16 @@ class TelemetryHub:
         self,
         on_event: Callable[[TelemetryEvent], None] | None = None,
         clock: Callable[[], float] = time.monotonic,
+        traces: "TraceLog | None" = None,
     ):
         self._on_event = on_event
         self._clock = clock
         self._started = clock()
         self.counters: dict[str, int] = {}
         self.timers: dict[str, dict[str, float]] = {}
+        #: Optional request-span log (the service wires one in; plain
+        #: exploration hubs leave it ``None``).
+        self.traces = traces
 
     @property
     def elapsed_s(self) -> float:

@@ -21,15 +21,28 @@ Three verbs:
     quickest way to see whether the compiled ``cc`` backend found a C
     compiler.
 
+``repro report``
+    Render a saved exploration result (``--output-json``) or telemetry
+    snapshot (``--stats-json``) as tables: the Pareto front, the cost
+    stats, the counters and per-backend timers.
+
+``repro diff``
+    Compare two such documents: Pareto deltas (points gained, lost,
+    moved), probe-count deltas, timing deltas.  Exits 0 when the
+    payloads match, 4 when they differ — usable as a regression gate.
+
 Examples
 --------
 ::
 
-    repro serve --port 8000 --data-dir state &
+    repro serve --port 8000 --data-dir state --workers 4 \
+        --bulkhead-interactive 1 --batch-queue-cap 32 &
     repro submit gallery:example --observe c --wait
     repro submit gallery:modem --kind minimal-distribution --throughput 1/20
     repro jobs --url http://127.0.0.1:8000
     repro backends
+    repro report front.json
+    repro diff front_before.json front_after.json
 """
 
 from __future__ import annotations
@@ -66,6 +79,65 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="simulation kernel for job probes (default: auto)",
     )
+    serve.add_argument(
+        "--bulkhead-interactive",
+        type=int,
+        default=0,
+        metavar="N",
+        help="workers reserved for interactive jobs (default: 0 = all float)",
+    )
+    serve.add_argument(
+        "--bulkhead-batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="workers reserved for batch (DSE) jobs (default: 0 = all float)",
+    )
+    serve.add_argument(
+        "--interactive-queue-cap",
+        type=int,
+        metavar="N",
+        help="max queued interactive jobs before 429 (default: uncapped)",
+    )
+    serve.add_argument(
+        "--batch-queue-cap",
+        type=int,
+        metavar="N",
+        help="max queued batch jobs before 429 (default: uncapped)",
+    )
+    serve.add_argument(
+        "--breaker-window",
+        type=int,
+        default=32,
+        metavar="N",
+        help="circuit breaker: outcomes in the sliding window (default: 32)",
+    )
+    serve.add_argument(
+        "--breaker-min-calls",
+        type=int,
+        default=4,
+        metavar="N",
+        help="circuit breaker: outcomes required before it can trip (default: 4)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=0.5,
+        metavar="RATE",
+        help="circuit breaker: windowed failure rate that opens it (default: 0.5)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="circuit breaker: open time before half-open probing (default: 5)",
+    )
+    serve.add_argument(
+        "--allow-chaos",
+        action="store_true",
+        help=argparse.SUPPRESS,  # fault injection for load tests only
+    )
 
     submit = commands.add_parser("submit", help="submit a graph + job to a running server")
     submit.add_argument("graph", help="input graph: an .xml or .json file, or gallery:<name>")
@@ -82,6 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--throughput", metavar="P/Q", help="minimal-distribution: the constraint")
     submit.add_argument("--capacities", metavar="CH=N,...", help="throughput: the distribution to evaluate")
     submit.add_argument("--priority", type=int, default=0, help="queue priority; lower runs first")
+    submit.add_argument(
+        "--job-class",
+        choices=("interactive", "batch"),
+        help="bulkhead class (default: by kind — dse is batch, probes interactive)",
+    )
+    submit.add_argument(
+        "--idempotency-key",
+        metavar="KEY",
+        help="replay-safe submission key (default: minted per call)",
+    )
     submit.add_argument("--deadline", type=float, metavar="SECONDS", help="per-job wall-clock budget")
     submit.add_argument("--max-probes", type=int, metavar="N", help="per-job probe budget")
     submit.add_argument("--wait", action="store_true", help="poll until the job settles and print the result")
@@ -103,6 +185,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="query a running server instead of this host's registry",
     )
     backends.add_argument("--json", action="store_true", help="print raw JSON")
+
+    report = commands.add_parser(
+        "report", help="render a saved result or telemetry snapshot as tables"
+    )
+    report.add_argument("document", help="a --output-json result or --stats-json snapshot")
+    report.add_argument("--label", help="heading label (default: the file name)")
+
+    diff = commands.add_parser(
+        "diff", help="compare two saved results or snapshots (exit 4 on differences)"
+    )
+    diff.add_argument("document_a", help="baseline document")
+    diff.add_argument("document_b", help="candidate document")
+    diff.add_argument("--label-a", default=None, help="name for the baseline (default: file name)")
+    diff.add_argument("--label-b", default=None, help="name for the candidate (default: file name)")
     return parser
 
 
@@ -115,6 +211,10 @@ def main(argv: list[str] | None = None) -> int:
             return _submit(arguments)
         if arguments.command == "backends":
             return _backends(arguments)
+        if arguments.command == "report":
+            return _report(arguments)
+        if arguments.command == "diff":
+            return _diff(arguments)
         return _jobs(arguments)
     except ReproError as error:
         print(f"repro: error: {error}", file=sys.stderr)
@@ -128,8 +228,32 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _serve(arguments: argparse.Namespace) -> int:
+    from repro.service.resilience import JOB_CLASSES, Bulkhead, CircuitBreaker
     from repro.service.server import AnalysisServer
 
+    queue_caps = {}
+    if arguments.interactive_queue_cap is not None:
+        queue_caps["interactive"] = arguments.interactive_queue_cap
+    if arguments.batch_queue_cap is not None:
+        queue_caps["batch"] = arguments.batch_queue_cap
+    bulkhead = Bulkhead(
+        arguments.workers,
+        reserved={
+            "interactive": arguments.bulkhead_interactive,
+            "batch": arguments.bulkhead_batch,
+        },
+        queue_caps=queue_caps,
+    )
+    breakers = {
+        job_class: CircuitBreaker(
+            job_class,
+            window=arguments.breaker_window,
+            min_calls=arguments.breaker_min_calls,
+            failure_threshold=arguments.breaker_threshold,
+            cooldown_s=arguments.breaker_cooldown,
+        )
+        for job_class in JOB_CLASSES
+    }
     server = AnalysisServer(
         arguments.data_dir,
         host=arguments.host,
@@ -137,6 +261,9 @@ def _serve(arguments: argparse.Namespace) -> int:
         workers=arguments.workers,
         queue_size=arguments.queue_size,
         engine=arguments.engine,
+        bulkhead=bulkhead,
+        breakers=breakers,
+        allow_chaos=arguments.allow_chaos,
     )
 
     # The handler only sets an event: calling stop() from inside the
@@ -188,6 +315,8 @@ def _submit(arguments: argparse.Namespace) -> int:
         priority=arguments.priority,
         deadline_s=arguments.deadline,
         max_probes=arguments.max_probes,
+        job_class=arguments.job_class,
+        idempotency_key=arguments.idempotency_key,
     )
     if arguments.wait:
         job = client.wait(job["id"], timeout=arguments.timeout)
@@ -251,6 +380,31 @@ def _backends(arguments: argparse.Namespace) -> int:
         status = "available" if row["available"] else f"unavailable — {row['reason']}"
         print(f"{row['name']}: {status}  [{', '.join(row['capabilities'])}]")
     return 0
+
+
+def _report(arguments: argparse.Namespace) -> int:
+    from repro.reporting.diffs import load_document, report_text
+
+    kind, document = load_document(arguments.document)
+    print(report_text(kind, document, label=arguments.label or arguments.document))
+    return 0
+
+
+def _diff(arguments: argparse.Namespace) -> int:
+    from repro.reporting.diffs import diff_text, load_document
+
+    kind_a, document_a = load_document(arguments.document_a)
+    kind_b, document_b = load_document(arguments.document_b)
+    text, identical = diff_text(
+        kind_a,
+        document_a,
+        kind_b,
+        document_b,
+        label_a=arguments.label_a or arguments.document_a,
+        label_b=arguments.label_b or arguments.document_b,
+    )
+    print(text)
+    return 0 if identical else 4
 
 
 def _print_job(job: dict) -> None:

@@ -52,12 +52,19 @@ from collections.abc import Mapping
 from repro.buffers.distribution import StorageDistribution
 from repro.buffers.evalcache import EvaluationService
 from repro.buffers.explorer import explore_design_space, minimal_distribution_for_throughput
-from repro.exceptions import BudgetExhausted, ReproError, ServiceError
+from repro.exceptions import (
+    BudgetExhausted,
+    RateLimited,
+    ReproError,
+    ServiceError,
+    ServiceUnavailable,
+)
 from repro.runtime.budget import Budget, CancelToken
 from repro.runtime.config import ExplorationConfig
 from repro.runtime.telemetry import TelemetryEvent, TelemetryHub
 from collections.abc import Callable
 from repro.service.registry import GraphRegistry
+from repro.service.resilience import JOB_CLASSES, Bulkhead, CircuitBreaker, classify
 
 JOB_KINDS = ("throughput", "dse", "minimal-distribution")
 JOB_STATES = ("queued", "running", "done", "partial", "failed", "cancelled")
@@ -72,7 +79,9 @@ class JobSpec:
     ``throughput`` jobs, ``throughput`` (a ``"p/q"`` string) for
     ``minimal-distribution`` jobs, and optional ``strategy`` /
     ``max_size`` for ``dse`` jobs.  ``priority`` orders the queue —
-    lower numbers run first, ties in submission order.
+    lower numbers run first, ties in submission order.  ``job_class``
+    optionally overrides the bulkhead class derived from ``kind``
+    (``"interactive"`` for point queries, ``"batch"`` for DSE).
     """
 
     kind: str
@@ -82,12 +91,19 @@ class JobSpec:
     priority: int = 0
     deadline_s: float | None = None
     max_probes: int | None = None
+    job_class: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ServiceError(
                 f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
             )
+        classify(self.kind, self.job_class)  # unknown class -> ServiceError
+
+    @property
+    def resolved_class(self) -> str:
+        """The bulkhead class this job runs in."""
+        return classify(self.kind, self.job_class)
 
 
 class Job:
@@ -106,12 +122,20 @@ class Job:
         self.legs = 0
         self.cancel = CancelToken()
         self.cancel_requested = False
+        self.trace_id: str | None = None
+        self.idempotency_key: str | None = None
+
+    @property
+    def job_class(self) -> str:
+        """The bulkhead class this job is queued and executed in."""
+        return self.spec.resolved_class
 
     def to_dict(self) -> dict:
         """The job as served by ``GET /jobs/<id>`` and stored as JSONL."""
         return {
             "id": self.id,
             "kind": self.spec.kind,
+            "class": self.job_class,
             "graph": self.spec.fingerprint,
             "observe": self.spec.observe,
             "params": dict(self.spec.params),
@@ -126,6 +150,8 @@ class Job:
             "exhausted": self.exhausted,
             "error": self.error,
             "result": self.result,
+            "trace_id": self.trace_id,
+            "idempotency_key": self.idempotency_key,
         }
 
     @classmethod
@@ -139,8 +165,11 @@ class Job:
             priority=int(record.get("priority", 0)),
             deadline_s=record.get("deadline_s"),
             max_probes=record.get("max_probes"),
+            job_class=record.get("class"),
         )
         job = cls(spec, job_id=record["id"])
+        job.trace_id = record.get("trace_id")
+        job.idempotency_key = record.get("idempotency_key")
         job.state = record.get("state", "queued")
         job.submitted_at = record.get("submitted_at", job.submitted_at)
         job.started_at = record.get("started_at")
@@ -175,6 +204,22 @@ class JobManager:
     telemetry:
         Server-wide :class:`~repro.runtime.telemetry.TelemetryHub`;
         every finished job's hub is merged into it (``/metrics``).
+    bulkhead:
+        Worker-slot partition between job classes
+        (:class:`~repro.service.resilience.Bulkhead`).  ``None`` lets
+        every worker float over both classes (the pre-bulkhead
+        behaviour) with no per-class queue caps.
+    breakers:
+        Per-class :class:`~repro.service.resilience.CircuitBreaker`
+        map.  ``None`` builds a default breaker per job class;
+        ``{}`` disables breaking entirely.  Only *internal* failures
+        (a worker dying mid-job) count against a breaker — client
+        mistakes (bad params, unknown channels) do not.
+    allow_chaos:
+        Honour the ``params.chaos`` fault-injection directives
+        (``"fail"``, ``"sleep:<seconds>"``).  Off by default; the load
+        harness and the overload tests switch it on to script
+        worker-kill scenarios through the public API.
     """
 
     def __init__(
@@ -186,6 +231,9 @@ class JobManager:
         queue_size: int = 64,
         engine: str = "auto",
         telemetry: TelemetryHub | None = None,
+        bulkhead: Bulkhead | None = None,
+        breakers: Mapping[str, CircuitBreaker] | None = None,
+        allow_chaos: bool = False,
     ):
         if workers < 1:
             raise ServiceError("workers must be >= 1")
@@ -198,10 +246,29 @@ class JobManager:
         #: every running job — live dashboards, deterministic tests.
         self.probe_callback: Callable[[Job, TelemetryEvent], None] | None = None
         self.queue_size = queue_size
+        self.bulkhead = bulkhead if bulkhead is not None else Bulkhead(workers)
+        if self.bulkhead.workers != workers:
+            raise ServiceError(
+                f"bulkhead sized for {self.bulkhead.workers} workers but the"
+                f" manager runs {workers}"
+            )
+        if breakers is None:
+            breakers = {
+                cls: CircuitBreaker(cls, telemetry=self.telemetry)
+                for cls in JOB_CLASSES
+            }
+        self.breakers: dict[str, CircuitBreaker] = dict(breakers)
+        for breaker in self.breakers.values():
+            if breaker._telemetry is None:
+                breaker._telemetry = self.telemetry
+        self.allow_chaos = bool(allow_chaos)
         self._cond = threading.Condition()
-        self._heap: list[tuple[int, int, str]] = []
+        self._heaps: dict[str, list[tuple[int, int, str]]] = {
+            cls: [] for cls in JOB_CLASSES
+        }
         self._seq = 0
         self._jobs: dict[str, Job] = {}
+        self._idempotency: dict[str, str] = {}
         self._closing = False
         self._store_path: Path | None = None
         self._checkpoint_dir: Path | None = None
@@ -213,30 +280,84 @@ class JobManager:
             self._checkpoint_dir.mkdir(exist_ok=True)
             self._recover()
         self._threads = [
-            threading.Thread(target=self._worker, name=f"repro-job-worker-{i}", daemon=True)
+            threading.Thread(
+                target=self._worker,
+                args=(self.bulkhead.allowed_classes(i),),
+                name=f"repro-job-worker-{i}",
+                daemon=True,
+            )
             for i in range(workers)
         ]
         for thread in self._threads:
             thread.start()
 
     # -- submission / lookup ------------------------------------------------
-    def submit(self, spec: JobSpec) -> Job:
-        """Queue a new job; raises :class:`ServiceError` (503) when full."""
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        idempotency_key: str | None = None,
+        trace_id: str | None = None,
+    ) -> Job:
+        """Queue a new job.
+
+        Admission control, in order: an *idempotency-key replay*
+        returns the original job without consuming any capacity; an
+        open circuit breaker for the job's class raises
+        :class:`~repro.exceptions.ServiceUnavailable` (503) with a
+        ``Retry-After`` hint; a per-class queue cap raises
+        :class:`~repro.exceptions.RateLimited` (429); a full global
+        queue raises :class:`~repro.exceptions.ServiceUnavailable`
+        (503).
+        """
         self.registry.get(spec.fingerprint)  # 404 on unknown graphs
-        job = Job(spec)
+        job_class = spec.resolved_class
         with self._cond:
+            if idempotency_key is not None:
+                known = self._idempotency.get(idempotency_key)
+                if known is not None:
+                    self.telemetry.emit("job_replayed", kind=spec.kind)
+                    return self._jobs[known]
             if self._closing:
-                raise ServiceError("server is shutting down", status=503)
-            if self.queue_depth >= self.queue_size:
-                raise ServiceError(
-                    f"job queue is full ({self.queue_size} queued); retry later",
-                    status=503,
+                raise ServiceUnavailable("server is shutting down")
+            breaker = self.breakers.get(job_class)
+            if breaker is not None and not breaker.allow():
+                raise ServiceUnavailable(
+                    f"job class {job_class!r} is shedding load (circuit"
+                    f" {breaker.state}); retry later",
+                    code="breaker_open",
+                    retry_after_s=breaker.retry_after_s or None,
                 )
+            admitted = False
+            try:
+                if not self.bulkhead.admits(
+                    job_class, len(self._heaps[job_class])
+                ):
+                    raise RateLimited(
+                        f"{job_class} queue cap"
+                        f" ({self.bulkhead.queue_caps[job_class]}) reached;"
+                        " retry later"
+                    )
+                if self.queue_depth >= self.queue_size:
+                    raise ServiceError(
+                        f"job queue is full ({self.queue_size} queued); retry later",
+                        status=503,
+                        code="queue_full",
+                    )
+                admitted = True
+            finally:
+                if not admitted and breaker is not None:
+                    breaker.release()  # give the (half-open) trial slot back
+            job = Job(spec)
+            job.trace_id = trace_id
+            job.idempotency_key = idempotency_key
+            if idempotency_key is not None:
+                self._idempotency[idempotency_key] = job.id
             self._jobs[job.id] = job
             self._push(job)
             self._persist(job)
-            self.telemetry.emit("job_submitted", kind=spec.kind)
-            self._cond.notify()
+            self.telemetry.emit("job_submitted", kind=spec.kind, job_class=job_class)
+            self._cond.notify_all()
         return job
 
     def get(self, job_id: str) -> Job:
@@ -256,7 +377,11 @@ class JobManager:
     @property
     def queue_depth(self) -> int:
         """Jobs waiting for a worker (running jobs excluded)."""
-        return len(self._heap)
+        return sum(len(heap) for heap in self._heaps.values())
+
+    def queue_depth_for(self, job_class: str) -> int:
+        """Waiting jobs of one bulkhead class."""
+        return len(self._heaps[job_class])
 
     def states_count(self) -> dict[str, int]:
         """``{state: number of jobs}`` over every known state."""
@@ -278,8 +403,13 @@ class JobManager:
             job.cancel_requested = True
             job.cancel.cancel()
             if job.state in ("queued", "partial"):
-                self._heap = [entry for entry in self._heap if entry[2] != job.id]
-                heapq.heapify(self._heap)
+                heap = self._heaps[job.job_class]
+                if any(entry[2] == job.id for entry in heap):
+                    heap[:] = [entry for entry in heap if entry[2] != job.id]
+                    heapq.heapify(heap)
+                    breaker = self.breakers.get(job.job_class)
+                    if breaker is not None:
+                        breaker.release()  # admitted but never executed
                 self._finalize(job, "cancelled")
             # a running job transitions when its worker observes the token
         return job
@@ -300,14 +430,20 @@ class JobManager:
             thread.join(timeout=timeout)
 
     # -- worker loop --------------------------------------------------------
-    def _worker(self) -> None:
+    def _worker(self, allowed: tuple[str, ...] = JOB_CLASSES) -> None:
         while True:
             with self._cond:
-                while not self._heap and not self._closing:
+                while not self._closing and not any(
+                    self._heaps[cls] for cls in allowed
+                ):
                     self._cond.wait()
                 if self._closing:
                     return
-                _, _, job_id = heapq.heappop(self._heap)
+                entry_class = min(
+                    (cls for cls in allowed if self._heaps[cls]),
+                    key=lambda cls: self._heaps[cls][0][:2],
+                )
+                _, _, job_id = heapq.heappop(self._heaps[entry_class])
                 job = self._jobs[job_id]
                 if job.cancel_requested:
                     self._finalize(job, "cancelled")
@@ -319,7 +455,10 @@ class JobManager:
             self._run(job)
 
     def _run(self, job: Job) -> None:
+        breaker = self.breakers.get(job.job_class)
+        internal_failure = False
         try:
+            self._maybe_chaos(job)
             graph = self.registry.get(job.spec.fingerprint)
             budget = Budget(
                 deadline_s=job.spec.deadline_s,
@@ -371,13 +510,46 @@ class JobManager:
                 else:
                     self._finalize(job, "partial")
         except ReproError as error:
+            # A client mistake (bad params, unknown channel): the worker
+            # plane is healthy, so this does not count against the breaker.
             with self._cond:
                 job.error = str(error)
                 self._finalize(job, "failed")
         except Exception as error:  # noqa: BLE001 - a worker must never die
+            internal_failure = True
             with self._cond:
                 job.error = f"internal error: {error!r}"
                 self._finalize(job, "failed")
+        finally:
+            if breaker is not None:
+                if internal_failure:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+
+    def _maybe_chaos(self, job: Job) -> None:
+        """Honour ``params.chaos`` fault injection (opt-in via
+        ``allow_chaos``): ``"fail"`` kills the execution the way a
+        wedged worker would; ``"sleep:<seconds>"`` stretches it, so load
+        tests can script long batches without burning CPU."""
+        directive = job.spec.params.get("chaos") if self.allow_chaos else None
+        if not directive:
+            return
+        directive = str(directive)
+        if directive == "fail":
+            raise RuntimeError("chaos: injected worker failure")
+        if directive.startswith("sleep:"):
+            deadline = time.monotonic() + float(directive.split(":", 1)[1])
+            while time.monotonic() < deadline:
+                if job.cancel.cancelled or self._closing:
+                    return  # the run notices the token at its first probe
+                time.sleep(min(0.02, max(0.0, deadline - time.monotonic())))
+            return
+        raise ServiceError(f"unknown chaos directive {directive!r}")
+
+    def breaker_snapshots(self) -> list[dict]:
+        """Per-class breaker state for ``/healthz`` and ``/metrics``."""
+        return [self.breakers[cls].snapshot() for cls in JOB_CLASSES if cls in self.breakers]
 
     def _run_dse(self, job: Job, graph, service: EvaluationService) -> None:
         params = job.spec.params
@@ -456,7 +628,9 @@ class JobManager:
     # -- state transitions (caller holds the lock) --------------------------
     def _push(self, job: Job) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (job.spec.priority, self._seq, job.id))
+        heapq.heappush(
+            self._heaps[job.job_class], (job.spec.priority, self._seq, job.id)
+        )
 
     def _finalize(self, job: Job, state: str) -> None:
         job.state = state
@@ -497,6 +671,8 @@ class JobManager:
         for record in records.values():
             job = Job.from_dict(record)
             self._jobs[job.id] = job
+            if job.idempotency_key:
+                self._idempotency[job.idempotency_key] = job.id
             if job.state in TERMINAL_STATES:
                 continue
             # queued, running and partial jobs all get another leg; DSE

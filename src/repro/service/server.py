@@ -29,7 +29,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from repro.runtime.telemetry import TelemetryHub
+from repro.runtime.telemetry import TelemetryHub, TraceLog
 from repro.service.api import AnalysisApi
 from repro.service.jobs import JobManager
 from repro.service.registry import GraphRegistry
@@ -47,10 +47,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _serve(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
-        response = self.api.handle(method, self.path, body)
+        response = self.api.handle(method, self.path, body, dict(self.headers))
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(response.body)
 
@@ -77,6 +79,11 @@ class AnalysisServer:
         from :attr:`port` / :attr:`url`).
     workers / queue_size / engine:
         Passed through to :class:`~repro.service.jobs.JobManager`.
+    bulkhead / breakers / allow_chaos:
+        The resilience plane, passed through to the manager: a
+        :class:`~repro.service.resilience.Bulkhead` worker partition,
+        per-class :class:`~repro.service.resilience.CircuitBreaker`
+        overrides, and the fault-injection opt-in (load tests only).
     """
 
     def __init__(
@@ -88,8 +95,11 @@ class AnalysisServer:
         workers: int = 1,
         queue_size: int = 64,
         engine: str = "auto",
+        bulkhead=None,
+        breakers=None,
+        allow_chaos: bool = False,
     ):
-        self.telemetry = TelemetryHub()
+        self.telemetry = TelemetryHub(traces=TraceLog())
         self.registry = GraphRegistry(data_dir)
         self.manager = JobManager(
             self.registry,
@@ -98,6 +108,9 @@ class AnalysisServer:
             queue_size=queue_size,
             engine=engine,
             telemetry=self.telemetry,
+            bulkhead=bulkhead,
+            breakers=breakers,
+            allow_chaos=allow_chaos,
         )
         self.api = AnalysisApi(self.registry, self.manager)
         handler = type("BoundHandler", (_Handler,), {"api": self.api})

@@ -9,6 +9,7 @@ from repro.buffers.evalcache import EvaluationService
 from repro.engine.executor import Executor
 from repro.exceptions import CapacityError
 from repro.gallery import fig1_example
+from repro.runtime.config import ExplorationConfig
 
 
 @pytest.fixture()
@@ -76,7 +77,7 @@ def test_set_ceiling_promotes_cached_results_retroactively(graph):
 
 
 def test_cache_disabled_reruns_everything(graph):
-    service = EvaluationService(graph, "c", cache=False)
+    service = EvaluationService(graph, "c", config=ExplorationConfig(cache=False))
     d = dist(alpha=4, beta=2)
     assert service(d) == service(d)
     assert service.stats.evaluations == 2
@@ -138,7 +139,7 @@ def test_evaluations_property_dumps_the_cache(graph):
 
 
 def test_context_manager_closes_pool(graph):
-    with EvaluationService(graph, "c", workers=2) as service:
+    with EvaluationService(graph, "c", config=ExplorationConfig(workers=2)) as service:
         batch = [dist(alpha=2, beta=2), dist(alpha=4, beta=2)]
         values = service.evaluate_many(batch)
         assert values == [Executor(graph, d, "c").run().throughput for d in batch]

@@ -7,6 +7,7 @@ import pytest
 
 from repro.buffers.distribution import StorageDistribution
 from repro.buffers.evalcache import EvaluationService
+from repro.runtime.config import ExplorationConfig
 from repro.exceptions import EngineError
 
 
@@ -22,7 +23,7 @@ def test_plain_queries_use_fast_kernel_by_default(fig1):
     service = EvaluationService(fig1, "c")
     values = [service(d) for d in distributions()]
     assert service.stats.fast_runs == service.stats.evaluations > 0
-    reference = EvaluationService(fig1, "c", engine="reference")
+    reference = EvaluationService(fig1, "c", config=ExplorationConfig(engine="reference"))
     assert values == [reference(d) for d in distributions()]
     assert reference.stats.fast_runs == 0
 
@@ -35,7 +36,7 @@ def test_blocking_queries_always_run_on_reference(fig1):
 
 
 def test_forced_fast_engine_rejects_blocking_queries(fig1):
-    service = EvaluationService(fig1, "c", engine="fast")
+    service = EvaluationService(fig1, "c", config=ExplorationConfig(engine="fast"))
     assert service(StorageDistribution({"alpha": 4, "beta": 2})) == Fraction(1, 7)
     with pytest.raises(EngineError, match="blocking-aware"):
         service.evaluate_blocking(StorageDistribution({"alpha": 4, "beta": 2}))
@@ -43,7 +44,7 @@ def test_forced_fast_engine_rejects_blocking_queries(fig1):
 
 def test_unknown_engine_rejected_at_construction(fig1):
     with pytest.raises(EngineError, match="unknown engine"):
-        EvaluationService(fig1, "c", engine="warp")
+        EvaluationService(fig1, "c", config=ExplorationConfig(engine="warp"))
 
 
 def test_blocking_record_never_replaced_by_thin_one(fig1):

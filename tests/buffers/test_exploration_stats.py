@@ -9,6 +9,7 @@ strategies do — fails loudly.
 import pytest
 
 from repro.buffers.explorer import explore_design_space
+from repro.runtime.config import ExplorationConfig
 from repro.gallery import fig1_example
 
 #: (strategy, evaluations, sizes_probed) with cache off and one worker —
@@ -29,7 +30,7 @@ def graph():
 
 @pytest.mark.parametrize("strategy,evaluations,sizes_probed", PINNED)
 def test_serial_baseline_counts_are_pinned(graph, strategy, evaluations, sizes_probed):
-    result = explore_design_space(graph, "c", strategy=strategy, cache=False)
+    result = explore_design_space(graph, "c", strategy=strategy, config=ExplorationConfig(cache=False))
     assert result.stats.evaluations == evaluations
     assert result.stats.sizes_probed == sizes_probed
     assert result.stats.cache_hits == 0
@@ -41,7 +42,7 @@ def test_serial_baseline_counts_are_pinned(graph, strategy, evaluations, sizes_p
 
 @pytest.mark.parametrize("strategy,evaluations,_sizes", PINNED)
 def test_cache_never_increases_work(graph, strategy, evaluations, _sizes):
-    result = explore_design_space(graph, "c", strategy=strategy, cache=True)
+    result = explore_design_space(graph, "c", strategy=strategy, config=ExplorationConfig(cache=True))
     assert result.stats.evaluations <= evaluations
     assert [(p.size, str(p.throughput)) for p in result.front] == PINNED_FRONT
     # Every saved evaluation is attributed to a hit or a prune.
@@ -59,7 +60,7 @@ def test_dependency_needs_fewest_evaluations(graph):
 
 
 def test_parallel_run_accounts_workers_and_batches(graph):
-    result = explore_design_space(graph, "c", strategy="dependency", workers=2)
+    result = explore_design_space(graph, "c", strategy="dependency", config=ExplorationConfig(workers=2))
     assert result.stats.workers == 2
     assert result.stats.parallel_batches >= 1
     # Batch-by-size parallelism never speculates in the dependency
@@ -80,7 +81,7 @@ def test_result_json_includes_cache_counters(graph, tmp_path):
 
     from repro.io.frontjson import write_result_json
 
-    result = explore_design_space(graph, "c", workers=1)
+    result = explore_design_space(graph, "c", config=ExplorationConfig(workers=1))
     path = tmp_path / "result.json"
     write_result_json(result, path)
     stats = json.loads(path.read_text())["stats"]

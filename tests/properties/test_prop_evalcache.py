@@ -18,6 +18,7 @@ from repro.buffers.evalcache import EvaluationService
 from repro.buffers.explorer import explore_design_space
 from repro.buffers.bounds import lower_bound_distribution
 from repro.engine.executor import Executor
+from repro.runtime.config import ExplorationConfig
 from repro.gallery.random_graphs import random_consistent_graph
 
 seeds = st.integers(min_value=0, max_value=10**9)
@@ -42,8 +43,8 @@ def test_cache_is_differentially_exact(seed):
     """Cache on vs. the cache-off serial baseline, all strategies."""
     graph = small_graph(seed)
     for strategy in STRATEGIES:
-        baseline = explore_design_space(graph, strategy=strategy, workers=1, cache=False)
-        cached = explore_design_space(graph, strategy=strategy, workers=1, cache=True)
+        baseline = explore_design_space(graph, strategy=strategy, config=ExplorationConfig(cache=False))
+        cached = explore_design_space(graph, strategy=strategy, config=ExplorationConfig(cache=True))
         assert front_fingerprint(cached.front) == front_fingerprint(baseline.front)
         # Caching and pruning may only ever save work.
         assert cached.stats.evaluations <= baseline.stats.evaluations
@@ -57,8 +58,8 @@ def test_parallel_is_differentially_exact(seed):
     """workers=2 (process-pool path) vs. the cache-off serial baseline."""
     graph = small_graph(seed)
     for strategy in STRATEGIES:
-        baseline = explore_design_space(graph, strategy=strategy, workers=1, cache=False)
-        parallel = explore_design_space(graph, strategy=strategy, workers=2, cache=True)
+        baseline = explore_design_space(graph, strategy=strategy, config=ExplorationConfig(cache=False))
+        parallel = explore_design_space(graph, strategy=strategy, config=ExplorationConfig(workers=2, cache=True))
         assert front_fingerprint(parallel.front) == front_fingerprint(baseline.front)
         assert parallel.stats.workers == 2
 
@@ -72,10 +73,10 @@ def test_quantized_divide_is_differentially_exact(seed):
     graph = small_graph(seed)
     quantum = Fraction(1, 12)
     baseline = explore_design_space(
-        graph, strategy="divide", quantum=quantum, workers=1, cache=False
+        graph, strategy="divide", quantum=quantum, config=ExplorationConfig(cache=False)
     )
     cached = explore_design_space(
-        graph, strategy="divide", quantum=quantum, workers=1, cache=True
+        graph, strategy="divide", quantum=quantum, config=ExplorationConfig(cache=True)
     )
     assert front_fingerprint(cached.front) == front_fingerprint(baseline.front)
 

@@ -1,4 +1,4 @@
-"""ExplorationConfig: validation, the deprecated-kwarg shim, re-exports."""
+"""ExplorationConfig: validation, the removed-kwarg guard, re-exports."""
 
 import warnings
 from fractions import Fraction
@@ -8,7 +8,7 @@ import pytest
 from repro.buffers.dependencies import dependency_sweep, find_minimal_distribution
 from repro.buffers.evalcache import EvaluationService
 from repro.buffers.explorer import explore_design_space, minimal_distribution_for_throughput
-from repro.exceptions import EngineError, ExplorationError
+from repro.exceptions import ConfigError, EngineError, ExplorationError
 from repro.gallery.registry import gallery_graph
 from repro.runtime import Budget, ExplorationConfig
 from repro.runtime.config import UNSET, coerce_config
@@ -116,34 +116,36 @@ class TestCoerceConfig:
         config = ExplorationConfig(workers=2)
         assert coerce_config(config, caller="f") is config
 
-    def test_legacy_kwargs_warn_and_fold_into_config(self):
-        with pytest.deprecated_call(match="f: the keyword"):
-            config = coerce_config(None, caller="f", workers=3, engine="reference")
-        assert config.workers == 3
-        assert config.engine == "reference"
+    def test_legacy_kwargs_raise_config_error_naming_the_migration(self):
+        with pytest.raises(ConfigError, match=r"f: the keyword\(s\) engine=, workers="):
+            coerce_config(None, caller="f", workers=3, engine="reference")
 
-    def test_mixing_config_and_legacy_raises(self):
-        with pytest.raises(ExplorationError, match="not both"):
+    def test_error_points_at_the_migration_table(self):
+        with pytest.raises(ConfigError, match="docs/RUNTIME.md"):
+            coerce_config(None, caller="f", workers=3)
+
+    def test_mixing_config_and_legacy_raises_too(self):
+        with pytest.raises(ConfigError, match="were removed"):
             coerce_config(ExplorationConfig(), caller="f", workers=2)
 
     def test_unset_sentinel_is_falsy_and_distinct_from_none(self):
         assert not UNSET
-        # None is a meaningful legacy value (e.g. evaluator=None must warn).
-        with pytest.deprecated_call():
-            config = coerce_config(None, caller="f", evaluator=None)
-        assert config.evaluator is None
+        # None is a meaningful legacy value: evaluator=None must still
+        # be rejected, not mistaken for "kwarg not passed".
+        with pytest.raises(ConfigError, match="evaluator="):
+            coerce_config(None, caller="f", evaluator=None)
 
 
 class TestEntryPointShims:
-    """Every public entry point accepts config= and deprecates the old kwargs."""
+    """Every public entry point accepts config= and rejects the removed
+    kwargs with the migration message (not a bare TypeError)."""
 
     def test_explore_design_space(self):
         graph = gallery_graph("example")
-        with pytest.deprecated_call(match="explore_design_space"):
-            result = explore_design_space(graph, "c", workers=1)
-        assert result.complete
+        with pytest.raises(ConfigError, match="explore_design_space"):
+            explore_design_space(graph, "c", workers=1)
 
-    def test_explore_design_space_config_equivalent(self):
+    def test_explore_design_space_config_form(self):
         graph = gallery_graph("example")
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
@@ -152,35 +154,27 @@ class TestEntryPointShims:
 
     def test_minimal_distribution_for_throughput(self):
         graph = gallery_graph("example")
-        with pytest.deprecated_call(match="minimal_distribution_for_throughput"):
-            point = minimal_distribution_for_throughput(
-                graph, Fraction(1, 6), "c", engine="auto"
-            )
-        assert point.size == 8
+        with pytest.raises(ConfigError, match="minimal_distribution_for_throughput"):
+            minimal_distribution_for_throughput(graph, Fraction(1, 6), "c", engine="auto")
 
     def test_dependency_sweep(self):
         graph = gallery_graph("example")
-        with pytest.deprecated_call(match="dependency_sweep"):
-            sweep = dependency_sweep(
-                graph, "c", stop_throughput=Fraction(1, 4), engine="reference"
-            )
-        assert sweep.complete
+        with pytest.raises(ConfigError, match="dependency_sweep"):
+            dependency_sweep(graph, "c", stop_throughput=Fraction(1, 4), engine="reference")
 
     def test_find_minimal_distribution(self):
         graph = gallery_graph("example")
-        with pytest.deprecated_call(match="find_minimal_distribution"):
-            found = find_minimal_distribution(graph, Fraction(1, 6), "c", engine="auto")
-        assert found is not None
+        with pytest.raises(ConfigError, match="find_minimal_distribution"):
+            find_minimal_distribution(graph, Fraction(1, 6), "c", engine="auto")
 
     def test_evaluation_service(self):
         graph = gallery_graph("example")
-        with pytest.deprecated_call(match="EvaluationService"):
-            service = EvaluationService(graph, "c", workers=1, cache=True)
-        service.close()
+        with pytest.raises(ConfigError, match="EvaluationService"):
+            EvaluationService(graph, "c", workers=1, cache=True)
 
     def test_mixing_raises_at_entry_point(self):
         graph = gallery_graph("example")
-        with pytest.raises(ExplorationError, match="not both"):
+        with pytest.raises(ConfigError, match="were removed"):
             explore_design_space(graph, "c", config=ExplorationConfig(), workers=2)
 
     def test_config_only_call_emits_no_deprecation(self):

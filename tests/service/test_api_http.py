@@ -162,10 +162,10 @@ class TestObservability:
         assert 'repro_jobs{state="done"} 1.0' in text
         assert "repro_queue_depth 0.0" in text
         assert "repro_graphs_registered 1.0" in text
-        assert 'repro_timer_seconds_count{timer="http POST /jobs"}' in text
-        assert 'repro_timer_seconds_count{timer="http GET /jobs/<id>"}' in text
+        assert 'repro_timer_seconds_count{timer="http POST /v1/jobs"}' in text
+        assert 'repro_timer_seconds_count{timer="http GET /v1/jobs/<id>"}' in text
         # a scrape's own timer closes after rendering: visible next scrape
-        assert 'repro_timer_seconds_count{timer="http GET /metrics"}' in client.metrics()
+        assert 'repro_timer_seconds_count{timer="http GET /v1/metrics"}' in client.metrics()
 
     def test_probe_avoidance_gauges_default_to_zero(self, client):
         text = client.metrics()

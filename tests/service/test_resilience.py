@@ -1,0 +1,263 @@
+"""Unit tests for the resilience primitives: circuit breaker state
+machine (on a fake clock), bulkhead partition math, retry schedules."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.runtime.telemetry import TelemetryHub
+from repro.service.resilience import (
+    JOB_CLASSES,
+    Bulkhead,
+    CircuitBreaker,
+    RetryPolicy,
+    classify,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    defaults = dict(
+        window=8, min_calls=4, failure_threshold=0.5, cooldown_s=5.0, half_open_max=2
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker("test", clock=clock, **defaults), clock
+
+
+class TestClassify:
+    def test_kind_defaults(self):
+        assert classify("throughput") == "interactive"
+        assert classify("minimal-distribution") == "interactive"
+        assert classify("dse") == "batch"
+
+    def test_explicit_override_wins(self):
+        assert classify("dse", "interactive") == "interactive"
+        assert classify("throughput", "batch") == "batch"
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job class"):
+            classify("dse", "bulk")
+
+
+class TestCircuitBreakerTransitions:
+    def test_starts_closed_and_allows(self):
+        breaker, _clock = make_breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failures_below_min_calls_do_not_trip(self):
+        breaker, _clock = make_breaker(min_calls=4)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_opens_at_failure_threshold(self):
+        breaker, _clock = make_breaker(min_calls=4, failure_threshold=0.5)
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # 1/3 failures, below threshold
+        breaker.record_failure()  # 2/4 = 0.5 >= threshold
+        assert breaker.state == "open"
+        assert breaker.counters["opened"] == 1
+
+    def test_open_rejects_and_counts(self):
+        breaker, _clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.counters["rejected"] == 2
+
+    def test_retry_after_counts_down_with_the_clock(self):
+        breaker, clock = make_breaker(cooldown_s=5.0)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.retry_after_s == pytest.approx(5.0)
+        clock.advance(2.0)
+        assert breaker.retry_after_s == pytest.approx(3.0)
+
+    def test_cooldown_advances_to_half_open(self):
+        breaker, clock = make_breaker(cooldown_s=5.0)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(4.999)
+        assert breaker.state == "open"
+        clock.advance(0.001)
+        assert breaker.state == "half-open"
+        assert breaker.counters["half_opened"] == 1
+
+    def test_half_open_admits_bounded_trials(self):
+        breaker, clock = make_breaker(half_open_max=2)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both trial slots taken
+
+    def test_half_open_success_closes_and_clears_window(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.failure_rate == 0.0  # old failures forgotten
+        assert breaker.counters["closed"] == 1
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.counters["opened"] == 2
+        # the new open period needs its own cooldown
+        assert breaker.retry_after_s == pytest.approx(5.0)
+
+    def test_release_gives_back_a_trial_slot(self):
+        breaker, clock = make_breaker(half_open_max=1)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.release()  # admitted work never executed
+        assert breaker.allow()
+
+    def test_sliding_window_drops_stale_failures(self):
+        breaker, _clock = make_breaker(window=4, min_calls=4, failure_threshold=0.75)
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(4):  # pushes the failures out of the window
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_failure()  # 3/4 = 0.75 in the window -> trips now
+        assert breaker.state == "open"
+
+    def test_transitions_emit_telemetry(self):
+        clock = FakeClock()
+        hub = TelemetryHub()
+        breaker = CircuitBreaker(
+            "interactive", window=8, min_calls=2, cooldown_s=1.0, clock=clock, telemetry=hub
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        counters = hub.counters
+        assert counters["breaker_open"] == 1
+        assert counters["breaker_rejected"] == 1
+        assert counters["breaker_half_open"] == 1
+        assert counters["breaker_close"] == 1
+
+    def test_snapshot_shape(self):
+        breaker, _clock = make_breaker()
+        snapshot = breaker.snapshot()
+        assert snapshot["name"] == "test"
+        assert snapshot["state"] == "closed"
+        assert snapshot["failure_rate"] == 0.0
+        assert set(snapshot["counters"]) == {"rejected", "opened", "half_opened", "closed"}
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            CircuitBreaker(window=0)
+        with pytest.raises(ServiceError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ServiceError):
+            CircuitBreaker(failure_threshold=1.5)
+        with pytest.raises(ServiceError):
+            CircuitBreaker(cooldown_s=0)
+        with pytest.raises(ServiceError):
+            CircuitBreaker(half_open_max=0)
+
+
+class TestBulkhead:
+    def test_default_all_workers_float(self):
+        bulkhead = Bulkhead(3)
+        for index in range(3):
+            assert bulkhead.allowed_classes(index) == JOB_CLASSES
+
+    def test_reserved_workers_are_pinned_in_class_order(self):
+        bulkhead = Bulkhead(4, reserved={"interactive": 1, "batch": 2})
+        assert bulkhead.allowed_classes(0) == ("interactive",)
+        assert bulkhead.allowed_classes(1) == ("batch",)
+        assert bulkhead.allowed_classes(2) == ("batch",)
+        assert bulkhead.allowed_classes(3) == JOB_CLASSES  # floater
+
+    def test_reservations_cannot_exceed_pool(self):
+        with pytest.raises(ServiceError, match="exceed the"):
+            Bulkhead(2, reserved={"interactive": 2, "batch": 1})
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ServiceError, match="unknown bulkhead class"):
+            Bulkhead(2, reserved={"bulk": 1})
+        with pytest.raises(ServiceError, match="unknown bulkhead class"):
+            Bulkhead(2, queue_caps={"bulk": 1})
+
+    def test_queue_caps_gate_admission(self):
+        bulkhead = Bulkhead(2, queue_caps={"batch": 2})
+        assert bulkhead.admits("batch", 0)
+        assert bulkhead.admits("batch", 1)
+        assert not bulkhead.admits("batch", 2)
+        assert bulkhead.admits("interactive", 10_000)  # uncapped
+
+    def test_to_dict(self):
+        bulkhead = Bulkhead(3, reserved={"interactive": 1}, queue_caps={"batch": 4})
+        assert bulkhead.to_dict() == {
+            "workers": 3,
+            "reserved": {"interactive": 1, "batch": 0},
+            "queue_caps": {"interactive": None, "batch": 4},
+        }
+
+
+class TestRetryPolicy:
+    def test_envelope_without_jitter(self):
+        policy = RetryPolicy(base_s=0.1, cap_s=2.0, multiplier=2.0, jitter=False)
+        rng = random.Random(0)
+        assert [policy.delay(a, rng) for a in range(6)] == [
+            0.1, 0.2, 0.4, 0.8, 1.6, 2.0  # capped
+        ]
+
+    def test_jitter_is_deterministic_under_a_seed(self):
+        policy = RetryPolicy()
+        first = [policy.delay(a, random.Random(42)) for a in range(4)]
+        second = [policy.delay(a, random.Random(42)) for a in range(4)]
+        assert first == second
+
+    def test_jitter_stays_within_the_envelope(self):
+        policy = RetryPolicy(base_s=0.1, cap_s=2.0, multiplier=2.0)
+        rng = random.Random(7)
+        for attempt in range(8):
+            delay = policy.delay(attempt, rng)
+            assert 0.0 <= delay <= min(2.0, 0.1 * 2.0**attempt)
+
+    def test_none_policy_never_retries(self):
+        assert RetryPolicy.none().attempts == 1
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ServiceError):
+            RetryPolicy(base_s=-1)
+        with pytest.raises(ServiceError):
+            RetryPolicy(multiplier=0.5)
