@@ -33,7 +33,12 @@ from repro.buffers.explorer import explore_design_space, minimal_distribution_fo
 from repro.buffers.bounds import lower_bound_distribution, upper_bound_distribution
 from repro.engine.executor import execute
 from repro.exceptions import ReproError
-from repro.gallery.registry import gallery_graph, gallery_names
+from repro.gallery.registry import (
+    gallery_graph,
+    gallery_names,
+    sadf_gallery_graph,
+    sadf_gallery_names,
+)
 from repro.graph.graph import SDFGraph
 from repro.io.dot import to_dot
 from repro.runtime import Budget, ExplorationConfig
@@ -117,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--csdf",
         action="store_true",
         help="treat a JSON input as a cyclo-static (CSDF) graph",
+    )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="treat the input as a scenario-aware (FSM-SADF) graph and"
+        " analyse worst-case throughput over all accepted scenario"
+        " sequences (auto-detected for sadfjson files and SADF gallery"
+        " names)",
     )
     parser.add_argument(
         "--workers",
@@ -264,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
         if arguments.list_gallery:
             for name in gallery_names():
                 print(name, file=out)
+            for name in sadf_gallery_names():
+                print(f"{name}  (scenarios)", file=out)
             return 0
         if not arguments.graph:
             parser.print_usage(file=sys.stderr)
@@ -272,6 +287,8 @@ def main(argv: list[str] | None = None) -> int:
 
         if arguments.csdf:
             return _run_csdf(arguments, out)
+        if arguments.scenarios or _is_sadf_input(arguments.graph):
+            return _run_sadf(arguments, out)
         graph = load_graph(arguments.graph)
 
         if arguments.export_xml:
@@ -448,6 +465,97 @@ def _explore(graph: SDFGraph, arguments: argparse.Namespace, out) -> int:
                 f" (saves {report.saving})",
                 file=out,
             )
+    return 0 if result.complete else 3
+
+
+def _is_sadf_input(spec: str) -> bool:
+    """Whether a graph argument names an SADF source (gallery entry or
+    sadfjson document) without being asked via --scenarios."""
+    if spec.startswith("gallery:"):
+        return spec.removeprefix("gallery:") in sadf_gallery_names()
+    path = Path(spec)
+    if path.suffix != ".json" or not path.is_file():
+        return False
+    import json
+
+    from repro.io.sadfjson import is_sadf_document
+
+    try:
+        return is_sadf_document(json.loads(path.read_text(encoding="utf-8")))
+    except (OSError, json.JSONDecodeError):
+        return False
+
+
+def load_sadf(spec: str):
+    """Resolve a scenario-graph argument: gallery name or sadfjson path."""
+    from repro.io.sadfjson import read_sadf_json
+
+    if spec.startswith("gallery:"):
+        return sadf_gallery_graph(spec.removeprefix("gallery:"))
+    return read_sadf_json(spec)
+
+
+def _run_sadf(arguments: argparse.Namespace, out) -> int:
+    from repro.sadf import (
+        explore_design_space as explore_sadf,
+        minimal_sadf_distribution_for_throughput,
+        worst_case_throughput,
+    )
+
+    sadf = load_sadf(arguments.graph)
+    if arguments.capacities:
+        capacities = parse_capacities(arguments.capacities)
+        report = worst_case_throughput(sadf, capacities, arguments.observe)
+        print(f"distribution {capacities} (size {capacities.size})", file=out)
+        print(report.summary(), file=out)
+        return 0
+    if arguments.throughput:
+        constraint = parse_fraction(arguments.throughput)
+        point = minimal_sadf_distribution_for_throughput(
+            sadf, constraint, arguments.observe
+        )
+        if point is None:
+            print(
+                f"worst-case throughput {constraint} is not achievable"
+                f" for {sadf.name!r}",
+                file=out,
+            )
+            return 1
+        print(
+            f"minimal storage for worst-case throughput >= {constraint}:"
+            f" size {point.size}, distribution {point.distribution}"
+            f" (throughput {point.throughput})",
+            file=out,
+        )
+        return 0
+    result = explore_sadf(
+        sadf,
+        arguments.observe,
+        strategy=arguments.strategy,
+        max_size=arguments.max_size,
+        config=_runtime_config(arguments),
+        resume=arguments.resume,
+    )
+    print(result.summary(), file=out)
+    if arguments.checkpoint:
+        print(f"resume checkpoint written to {arguments.checkpoint}", file=out)
+    if arguments.stats_json:
+        import json
+
+        Path(arguments.stats_json).write_text(
+            json.dumps(result.telemetry or {}, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"telemetry snapshot written to {arguments.stats_json}", file=out)
+    if arguments.output_json:
+        from repro.io.frontjson import write_result_json
+
+        write_result_json(result, arguments.output_json)
+        print(f"exploration result written to {arguments.output_json}", file=out)
+    if arguments.chart:
+        print(
+            ascii_pareto(result.front, title=f"SADF Pareto space of {sadf.name!r}"),
+            file=out,
+        )
     return 0 if result.complete else 3
 
 

@@ -187,12 +187,28 @@ def backend_availability(backend: ProbeBackend) -> str | None:
     return probe()
 
 
+#: The capability tags the rest of the system interprets (see the
+#: module docstring); :func:`capability_flags` renders exactly these.
+KNOWN_CAPABILITIES = ("exact", "blocking", "compiled", "lanes")
+
+
+def capability_flags(backend: ProbeBackend) -> dict[str, bool]:
+    """``{capability: bool}`` over :data:`KNOWN_CAPABILITIES`.
+
+    The one place the capability set is flattened to flags, so the CLI
+    (``repro backends --json``) and the service (``GET /backends``)
+    can never drift apart on which tags exist or how they are spelled.
+    """
+    return {tag: tag in backend.capabilities for tag in KNOWN_CAPABILITIES}
+
+
 def backend_descriptions() -> list[dict]:
     """One JSON-friendly row per registered backend, registration order.
 
     The shared rendering behind ``GET /backends`` and the ``repro
-    backends`` CLI verb: name, sorted capabilities, availability on
-    *this* host and — when unavailable — the human-readable reason.
+    backends`` CLI verb: name, sorted capabilities (plus the same set
+    as :func:`capability_flags` booleans), availability on *this* host
+    and — when unavailable — the human-readable reason.
     """
     rows = []
     for name in backend_names():
@@ -202,6 +218,7 @@ def backend_descriptions() -> list[dict]:
             {
                 "name": name,
                 "capabilities": sorted(backend.capabilities),
+                "flags": capability_flags(backend),
                 "available": reason is None,
                 "reason": reason,
             }

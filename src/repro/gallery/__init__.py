@@ -6,6 +6,8 @@
   Bhattacharyya, Murthy & Lee (1999): modem, CD-to-DAT sample-rate
   converter and satellite receiver (Figs. 9-11 of the paper),
 * :mod:`repro.gallery.h263` — the H.263 decoder model (Fig. 12),
+* :mod:`repro.gallery.sadf_modes` — multi-mode (FSM-SADF) variants of
+  the modem and H.263 workloads for the scenario-aware analysis,
 * :mod:`repro.gallery.random_graphs` — consistent-by-construction
   random graphs for property-based testing,
 * :mod:`repro.gallery.registry` — name-based lookup for the CLI and
@@ -20,7 +22,13 @@ from repro.gallery.bml99 import modem, sample_rate_converter, satellite_receiver
 from repro.gallery.h263 import h263_decoder
 from repro.gallery.paper import fig1_example, fig6_example
 from repro.gallery.random_graphs import random_consistent_graph
-from repro.gallery.registry import gallery_graph, gallery_names
+from repro.gallery.registry import (
+    gallery_graph,
+    gallery_names,
+    sadf_gallery_graph,
+    sadf_gallery_names,
+)
+from repro.gallery.sadf_modes import h263_frames, modem_modes
 
 __all__ = [
     "fig1_example",
@@ -28,8 +36,12 @@ __all__ = [
     "gallery_graph",
     "gallery_names",
     "h263_decoder",
+    "h263_frames",
     "modem",
+    "modem_modes",
     "random_consistent_graph",
+    "sadf_gallery_graph",
+    "sadf_gallery_names",
     "sample_rate_converter",
     "satellite_receiver",
 ]

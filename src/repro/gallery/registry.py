@@ -13,7 +13,9 @@ from repro.gallery.bml99 import modem, sample_rate_converter, satellite_receiver
 from repro.gallery.extras import bipartite, mp3_decoder
 from repro.gallery.h263 import h263_decoder
 from repro.gallery.paper import fig1_example, fig6_example
+from repro.gallery.sadf_modes import h263_frames, modem_modes
 from repro.graph.graph import SDFGraph
+from repro.sadf.graph import SADFGraph
 
 _REGISTRY: dict[str, Callable[[], SDFGraph]] = {
     "example": fig1_example,
@@ -25,6 +27,15 @@ _REGISTRY: dict[str, Callable[[], SDFGraph]] = {
     "h263-small": lambda: h263_decoder(blocks=99),
     "bipartite": bipartite,
     "mp3": mp3_decoder,
+}
+
+
+#: Scenario-aware (FSM-SADF) gallery entries, separate from the SDF
+#: registry: they construct :class:`~repro.sadf.graph.SADFGraph`
+#: instances and feed the ``--scenarios`` analysis surface.
+_SADF_REGISTRY: dict[str, Callable[[], SADFGraph]] = {
+    "modem-modes": modem_modes,
+    "h263-frames": h263_frames,
 }
 
 
@@ -40,5 +51,22 @@ def gallery_graph(name: str) -> SDFGraph:
     except KeyError:
         raise GraphError(
             f"unknown gallery graph {name!r}; available: {', '.join(gallery_names())}"
+        ) from None
+    return factory()
+
+
+def sadf_gallery_names() -> list[str]:
+    """The available scenario-aware gallery graph names."""
+    return sorted(_SADF_REGISTRY)
+
+
+def sadf_gallery_graph(name: str) -> SADFGraph:
+    """Construct the scenario-aware gallery graph called *name*."""
+    try:
+        factory = _SADF_REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown SADF gallery graph {name!r};"
+            f" available: {', '.join(sadf_gallery_names())}"
         ) from None
     return factory()

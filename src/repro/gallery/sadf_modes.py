@@ -1,0 +1,123 @@
+"""Multi-mode (FSM-SADF) variants of the gallery workloads.
+
+Two scenario sets grounding the scenario-aware analysis in the same
+applications the paper uses:
+
+* :func:`modem_modes` — the BML99 modem with an **acquisition** mode
+  (heavier equaliser adaptation while the receiver locks on) and a
+  **tracking** mode (the steady demodulation of
+  :func:`repro.gallery.bml99.modem`), with mode-transition delays for
+  retuning the loops;
+* :func:`h263_frames` — the H.263 decoder with **I-frame** and
+  **P-frame** scenarios: an intra frame carries the full macroblock
+  burst through VLD/IQ/IDCT while a predicted frame moves half the
+  blocks at lighter execution times, the classic frame-type scenario
+  example of the SADF literature (Skelin/Geilen, arXiv:1404.0089).
+
+Both use the small scalable burst sizes so all-scenario sweeps stay
+tractable in pure Python; the structure (rate changes per scenario,
+switching delays, residence modes) is what the analysis exercises.
+"""
+
+from __future__ import annotations
+
+from repro.sadf.fsm import ScenarioFSM
+from repro.sadf.graph import SADFGraph
+
+
+def modem_modes() -> SADFGraph:
+    """The BML99 modem with acquisition and tracking modes.
+
+    The skeleton is the 16-actor / 19-channel modem reconstruction of
+    :func:`repro.gallery.bml99.modem`.  *Tracking* binds its baseline
+    execution times; *acquisition* slows the adaptation path (equaliser,
+    coefficient update, decision and error actors) while the receiver
+    converges.  The FSM starts in acquisition, may reside in either
+    mode, and pays a retune delay on every mode switch.
+    """
+    sadf = SADFGraph("modem-modes")
+    for name in (
+        "in", "filt", "fork1", "hil", "demod", "fork2", "conj", "mul",
+        "deci", "eqlz", "fork3", "dec", "err", "upd", "interp", "out",
+    ):
+        sadf.add_actor(name)
+    sadf.add_channel("in", "filt", name="m1")
+    sadf.add_channel("filt", "fork1", name="m2")
+    sadf.add_channel("fork1", "hil", name="m3")
+    sadf.add_channel("fork1", "demod", name="m4")
+    sadf.add_channel("hil", "demod", name="m5")
+    sadf.add_channel("demod", "fork2", name="m6")
+    sadf.add_channel("fork2", "conj", name="m7")
+    sadf.add_channel("fork2", "mul", name="m8")
+    sadf.add_channel("conj", "mul", initial_tokens=1, name="m9")
+    sadf.add_channel("mul", "deci", name="m10")
+    sadf.add_channel("deci", "eqlz", name="m11")
+    sadf.add_channel("eqlz", "fork3", name="m12")
+    sadf.add_channel("fork3", "dec", name="m13")
+    sadf.add_channel("fork3", "err", name="m14")
+    sadf.add_channel("dec", "err", name="m15")
+    sadf.add_channel("err", "upd", name="m16")
+    sadf.add_channel("upd", "eqlz", initial_tokens=1, name="m17")
+    sadf.add_channel("dec", "interp", name="m18")
+    sadf.add_channel("interp", "out", name="m19")
+
+    tracking_times = {
+        "in": 1, "filt": 2, "fork1": 1, "hil": 2, "demod": 1, "fork2": 1,
+        "conj": 1, "mul": 1, "deci": 1, "eqlz": 2, "fork3": 1, "dec": 1,
+        "err": 1, "upd": 2, "interp": 1, "out": 1,
+    }
+    rates = {"productions": {"m18": 16}, "consumptions": {"m10": 16}}
+    sadf.add_scenario(
+        "acquisition",
+        execution_times={**tracking_times, "eqlz": 4, "upd": 5, "dec": 2, "err": 2},
+        **rates,
+    )
+    sadf.add_scenario("tracking", execution_times=tracking_times, **rates)
+
+    fsm = ScenarioFSM("acquisition")
+    fsm.add_transition("acquisition", "acquisition")
+    fsm.add_transition("acquisition", "tracking", delay=4)
+    fsm.add_transition("tracking", "tracking")
+    fsm.add_transition("tracking", "acquisition", delay=2)
+    sadf.set_fsm(fsm)
+    return sadf
+
+
+def h263_frames(i_blocks: int = 4, p_blocks: int = 2) -> SADFGraph:
+    """The H.263 decoder with I-frame and P-frame scenarios.
+
+    The skeleton is the four-actor decoder chain of
+    :func:`repro.gallery.h263.h263_decoder`; the burst rate *is* the
+    scenario: an I frame carries *i_blocks* macroblock tokens per frame
+    at full decode cost, a P frame *p_blocks* at lighter cost.  The FSM
+    starts on an I frame, resides on P frames, and pays a reference-
+    frame switch delay around every I frame (no back-to-back I frames).
+    """
+    if p_blocks < 1 or i_blocks <= p_blocks:
+        raise ValueError("need i_blocks > p_blocks >= 1")
+    sadf = SADFGraph("h263-frames")
+    for name in ("vld", "iq", "idct", "mc"):
+        sadf.add_actor(name)
+    sadf.add_channel("vld", "iq", name="h1")
+    sadf.add_channel("iq", "idct", name="h2")
+    sadf.add_channel("idct", "mc", name="h3")
+
+    sadf.add_scenario(
+        "i",
+        execution_times={"vld": 4, "iq": 1, "idct": 1, "mc": 3},
+        productions={"h1": i_blocks},
+        consumptions={"h3": i_blocks},
+    )
+    sadf.add_scenario(
+        "p",
+        execution_times={"vld": 2, "iq": 1, "idct": 1, "mc": 2},
+        productions={"h1": p_blocks},
+        consumptions={"h3": p_blocks},
+    )
+
+    fsm = ScenarioFSM("i")
+    fsm.add_transition("i", "p", delay=1)
+    fsm.add_transition("p", "p")
+    fsm.add_transition("p", "i", delay=2)
+    sadf.set_fsm(fsm)
+    return sadf

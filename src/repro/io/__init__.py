@@ -8,6 +8,12 @@ export for visualisation.
 
 from repro.io.dot import to_dot
 from repro.io.jsonio import graph_from_dict, graph_to_dict, read_json, write_json
+from repro.io.sadfjson import (
+    read_sadf_json,
+    sadf_from_dict,
+    sadf_to_dict,
+    write_sadf_json,
+)
 from repro.io.sdfxml import read_xml, read_xml_string, write_xml, write_xml_string
 from repro.io.vcd import schedule_to_vcd, states_to_vcd
 
@@ -15,12 +21,16 @@ __all__ = [
     "graph_from_dict",
     "graph_to_dict",
     "read_json",
+    "read_sadf_json",
     "read_xml",
     "read_xml_string",
+    "sadf_from_dict",
+    "sadf_to_dict",
     "schedule_to_vcd",
     "states_to_vcd",
     "to_dot",
     "write_json",
+    "write_sadf_json",
     "write_xml",
     "write_xml_string",
 ]

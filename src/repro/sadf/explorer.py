@@ -1,0 +1,591 @@
+"""All-scenario buffer sizing for FSM-SADF graphs.
+
+The skeleton of an :class:`~repro.sadf.graph.SADFGraph` fixes one
+channel set, so a single
+:class:`~repro.buffers.distribution.StorageDistribution` prices every
+scenario at once.  This module charts the Pareto space of storage size
+vs. **worst-case** throughput (:mod:`repro.sadf.throughput`): a
+distribution meets a throughput target only if every reachable
+scenario — and every accepted switching pattern between them —
+sustains it.
+
+The sweep is the storage-dependency argument run on the worst case
+directly.  Every ingredient of ``W(d)`` (per-scenario steady-state
+throughput, per-scenario iteration makespan, and their cycle
+compositions) is monotone in *d* and changes only when a channel that
+*blocked* a firing grows by at least its minimal observed deficit; the
+union of blocking channels over all reachable scenarios (steady-state
+and makespan runs alike) is therefore a complete set of growth
+directions, and the size-ordered frontier with a throughput ceiling
+terminates exactly as in the SDF case.
+
+Each scenario is evaluated through its own
+:class:`~repro.buffers.evalcache.EvaluationService` — memo cache,
+bounds oracle, worker pools and backends apply per scenario unchanged
+— while one shared :class:`~repro.runtime.controller.RunController`
+meters the *combined* probe budget.  Results flow through the existing
+:class:`~repro.buffers.pareto.ParetoFront` /
+:class:`~repro.buffers.explorer.ExplorationStats` machinery, budgets
+yield partial results with resume tokens, and ``config.checkpoint``
+writes a versioned multi-scenario checkpoint (format
+:data:`SADF_CHECKPOINT_FORMAT`) restoring every scenario's memo.
+
+A **degenerate** single-scenario graph (one scenario, zero-delay
+self-loop FSM) is delegated outright to the plain SDF
+:func:`~repro.buffers.explorer.explore_design_space` on its scenario
+graph — fronts, witnesses and probe counts are bit-identical to the
+SDF path by construction, the property pinned in
+``tests/properties/test_prop_sadf.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import time
+from fractions import Fraction
+from pathlib import Path
+from collections.abc import Callable, Mapping
+
+from repro.buffers.bounds import lower_bound_distribution, upper_bound_distribution
+from repro.buffers.distribution import StorageDistribution
+from repro.buffers.evalcache import EvaluationService
+from repro.buffers.explorer import (
+    DesignSpaceResult,
+    ExplorationStats,
+    explore_design_space as _explore_sdf,
+)
+from repro.buffers.pareto import ParetoFront, ParetoPoint
+from repro.exceptions import (
+    BudgetExhausted,
+    CheckpointError,
+    ExplorationError,
+    GraphError,
+)
+from repro.runtime.checkpoint import ResumeToken, save_checkpoint
+from repro.runtime.config import ExplorationConfig, coerce_config
+from repro.runtime.controller import RunController
+from repro.runtime.telemetry import TelemetryHub
+from repro.sadf.graph import SADFGraph
+from repro.sadf.makespan import MakespanResult, iteration_makespan
+from repro.sadf.throughput import worst_case_throughput
+
+#: Checkpoint format marker of multi-scenario SADF explorations.  The
+#: degenerate single-scenario path delegates to the SDF explorer and
+#: therefore writes plain ``repro-checkpoint`` files; the two formats
+#: reject each other explicitly.
+SADF_CHECKPOINT_FORMAT = "repro-sadf-checkpoint"
+SADF_CHECKPOINT_VERSION = 1
+
+#: Strategy tag stamped into multi-scenario stats and checkpoints.
+SADF_STRATEGY = "sadf-dependency"
+
+
+def explore_design_space(
+    sadf: SADFGraph,
+    observe: str | None = None,
+    *,
+    strategy: str = "dependency",
+    max_size: int | None = None,
+    config: ExplorationConfig | None = None,
+    resume: "ResumeToken | Mapping | str | Path | None" = None,
+    scenario_states: Mapping[str, Mapping] | None = None,
+    on_export: Callable[[str, Mapping], None] | None = None,
+) -> DesignSpaceResult:
+    """Chart the storage / worst-case-throughput Pareto space of *sadf*.
+
+    Parameters
+    ----------
+    observe:
+        Skeleton actor whose completions define throughput; defaults
+        to the last actor.
+    strategy:
+        Only ``"dependency"`` explores multi-scenario graphs; the
+        degenerate single-scenario case forwards any strategy to the
+        SDF explorer.
+    max_size:
+        Restrict the sweep to distributions of at most this size.
+    config:
+        The run's :class:`~repro.runtime.config.ExplorationConfig`.
+        ``budget`` meters the *combined* probe count across all
+        scenarios; ``checkpoint`` writes a multi-scenario checkpoint;
+        ``evaluator`` is rejected (each scenario owns its service).
+    resume:
+        A resume token, checkpoint payload or checkpoint path from a
+        previous run of the same graph.
+    scenario_states:
+        Optional ``{scenario: export_state() payload}`` warm-start (the
+        service plane's memo banks); ignored for scenarios it does not
+        name.  ``resume`` takes precedence.
+    on_export:
+        Called as ``on_export(scenario, export_state())`` for every
+        scenario service before it closes — partial and failed runs
+        included — so callers can bank what the run paid for.
+    """
+    sadf.validate()
+    config = coerce_config(config, caller="sadf.explore_design_space")
+    if observe is None:
+        observe = sadf.actor_names[-1]
+    if observe not in sadf.actors:
+        raise GraphError(f"SADF graph {sadf.name!r} has no actor {observe!r}")
+
+    if sadf.is_single_scenario:
+        return _explore_degenerate(
+            sadf,
+            observe,
+            strategy=strategy,
+            max_size=max_size,
+            config=config,
+            resume=resume,
+            scenario_states=scenario_states,
+            on_export=on_export,
+        )
+
+    if strategy != "dependency":
+        raise ExplorationError(
+            f"multi-scenario SADF exploration supports the 'dependency'"
+            f" strategy only, not {strategy!r}"
+        )
+    if config.evaluator is not None:
+        raise ExplorationError(
+            "config.evaluator cannot be shared across scenarios; each"
+            " scenario owns its evaluation service (use scenario_states /"
+            " on_export to warm-start and bank their memo caches)"
+        )
+
+    started = time.perf_counter()
+    fsm = sadf.effective_fsm()
+    reachable = fsm.reachable()
+    order = sadf.channel_names
+
+    hub = TelemetryHub(config.on_event)
+    controller = RunController(config.budget, hub)
+    # Per-scenario services keep the caller's event callback (probe
+    # telemetry flows through) but no budget or checkpoint of their
+    # own — the shared controller and the multi-scenario checkpoint
+    # format handle those here.
+    scenario_config = config.replaced(budget=None, checkpoint=None, evaluator=None)
+    services: dict[str, EvaluationService] = {}
+    try:
+        for name in reachable:
+            service = EvaluationService(
+                sadf.scenario_graph(name), observe, config=scenario_config
+            )
+            # One controller meters the combined probe budget; the
+            # services were built budget-free above.
+            service.controller = controller
+            services[name] = service
+
+        if resume is not None:
+            _restore_scenarios(_coerce_sadf_resume(resume), sadf, observe, services)
+        elif scenario_states:
+            for name, state in scenario_states.items():
+                if name in services and state and state.get("memo"):
+                    services[name].restore_state(state)
+
+        hub.emit(
+            "run_start",
+            graph=sadf.name,
+            observe=observe,
+            strategy=SADF_STRATEGY,
+            scenarios=len(reachable),
+        )
+
+        lower = _merged_bound(sadf, reachable, lower_bound_distribution)
+        upper = _merged_bound(sadf, reachable, upper_bound_distribution)
+
+        makespan_cache: dict[tuple[str, tuple[int, ...]], MakespanResult] = {}
+
+        def makespans_at(
+            distribution: StorageDistribution, vector: tuple[int, ...]
+        ) -> Callable[[str], MakespanResult]:
+            def oracle(name: str) -> MakespanResult:
+                key = (name, vector)
+                if key not in makespan_cache:
+                    makespan_cache[key] = iteration_makespan(
+                        sadf.scenario_graph(name),
+                        distribution,
+                        sadf.scenario_repetitions(name),
+                    )
+                return makespan_cache[key]
+
+            return oracle
+
+        def worst_at(distribution: StorageDistribution) -> Fraction:
+            vector = tuple(distribution[name] for name in order)
+            return worst_case_throughput(
+                sadf,
+                distribution,
+                observe,
+                throughputs=lambda name: services[name](distribution),
+                makespans=makespans_at(distribution, vector),
+            ).worst_case
+
+        evaluations: dict[StorageDistribution, Fraction] = {}
+        heap: list[tuple[int, tuple[int, ...], StorageDistribution]] = []
+        queued: set[StorageDistribution] = set()
+        complete = True
+        exhausted: str | None = None
+        max_thr: Fraction | None = None
+
+        try:
+            # Per-scenario throughput ceilings first: they power the
+            # superset prune of every service, including during the
+            # worst-case maximum search below.
+            from repro.analysis.throughput import max_throughput as _max_throughput
+
+            for name in reachable:
+                services[name].set_ceiling(
+                    _max_throughput(
+                        sadf.scenario_graph(name), observe, evaluator=services[name]
+                    )
+                )
+
+            # Maximal worst case: evaluate at the conservative upper
+            # bound and double until stable twice (the CSDF adaptive
+            # scheme); every probe lands in the memos / caches.
+            probe = upper
+            best = worst_at(probe)
+            evaluations[probe] = best
+            stable = 0
+            while stable < 2:
+                probe = probe.scaled(2)
+                value = worst_at(probe)
+                evaluations[probe] = value
+                if value == best:
+                    stable += 1
+                else:
+                    best = value
+                    stable = 0
+            max_thr = best
+            while worst_at(upper) < max_thr:
+                upper = upper.scaled(2)
+            evaluations[upper] = worst_at(upper)
+
+            ceiling: int | None = None
+
+            def push(distribution: StorageDistribution) -> None:
+                if distribution in queued or distribution in evaluations:
+                    return
+                if max_size is not None and distribution.size > max_size:
+                    return
+                if ceiling is not None and distribution.size > ceiling:
+                    return
+                queued.add(distribution)
+                heapq.heappush(
+                    heap,
+                    (
+                        distribution.size,
+                        tuple(distribution[name] for name in order),
+                        distribution,
+                    ),
+                )
+
+            push(lower)
+            while heap:
+                size, vector, distribution = heapq.heappop(heap)
+                if ceiling is not None and size > ceiling:
+                    break
+                queued.discard(distribution)
+                worst = worst_at(distribution)
+                evaluations[distribution] = worst
+                if max_thr > 0 and worst >= max_thr:
+                    if ceiling is None or size < ceiling:
+                        ceiling = size
+                    continue
+                if max_thr == 0:
+                    # Some reachable scenario deadlocks at every
+                    # distribution; nothing to grow towards.
+                    break
+                # Growth directions: every channel whose lack of space
+                # blocked a firing in any reachable scenario, in the
+                # pipelined steady state or within one barriered
+                # iteration, by its minimal observed deficit.
+                deficits: dict[str, int] = {}
+                oracle = makespans_at(distribution, vector)
+                for name in reachable:
+                    record = services[name].evaluate_blocking(distribution)
+                    for channel in record.space_blocked or ():
+                        step = (record.space_deficits or {}).get(channel, 1)
+                        deficits[channel] = min(
+                            deficits.get(channel, step), step
+                        )
+                    makespan = oracle(name)
+                    for channel in makespan.space_blocked:
+                        step = makespan.space_deficits.get(channel, 1)
+                        deficits[channel] = min(
+                            deficits.get(channel, step), step
+                        )
+                for channel, step in deficits.items():
+                    push(distribution.incremented(channel, step))
+        except BudgetExhausted as stop:
+            complete = False
+            exhausted = stop.reason
+        if max_thr is None:
+            max_thr = max(evaluations.values(), default=Fraction(0))
+
+        front = ParetoFront.from_evaluations(evaluations)
+        if max_size is not None:
+            front = front.filtered(lambda point: point.size <= max_size)
+
+        resume_token: ResumeToken | None = None
+        if not complete or config.checkpoint is not None:
+            payload = {
+                "format": SADF_CHECKPOINT_FORMAT,
+                "version": SADF_CHECKPOINT_VERSION,
+                "graph": sadf.name,
+                "observe": observe,
+                "strategy": SADF_STRATEGY,
+                "complete": complete,
+                "exhausted": exhausted,
+                "channels": list(order),
+                "frontier": front.to_dicts(),
+                "pending": [dict(entry) for _, _, entry in sorted(heap)],
+                "scenarios": {
+                    name: services[name].export_state() for name in reachable
+                },
+            }
+            resume_token = ResumeToken(payload)
+            if config.checkpoint is not None:
+                path = save_checkpoint(resume_token, config.checkpoint)
+                hub.emit(
+                    "checkpoint_saved",
+                    path=str(path),
+                    complete=complete,
+                    scenarios=len(reachable),
+                )
+
+        hub.emit(
+            "run_finish",
+            complete=complete,
+            exhausted=exhausted,
+            pareto_points=len(front),
+            evaluations=sum(s.stats.evaluations for s in services.values()),
+        )
+        for service in services.values():
+            hub.merge(service.telemetry)
+        stats = ExplorationStats(
+            strategy=SADF_STRATEGY,
+            evaluations=sum(s.stats.evaluations for s in services.values()),
+            max_states_stored=max(
+                (s.stats.max_states_stored for s in services.values()), default=0
+            ),
+            wall_time_s=time.perf_counter() - started,
+            sizes_probed=len({d.size for d in evaluations}),
+            cache_hits=sum(s.stats.cache_hits for s in services.values()),
+            prunes=sum(s.stats.prunes for s in services.values()),
+            workers=max((s.workers for s in services.values()), default=1),
+            parallel_batches=sum(s.stats.parallel_batches for s in services.values()),
+            pool_restarts=sum(s.stats.pool_restarts for s in services.values()),
+            pool_fallback_reason=next(
+                (
+                    s.stats.pool_fallback_reason
+                    for s in services.values()
+                    if s.stats.pool_fallback_reason
+                ),
+                None,
+            ),
+            bounds_exact=sum(s.stats.bounds_exact for s in services.values()),
+            bounds_cut=sum(s.stats.bounds_cut for s in services.values()),
+            speculative_issued=sum(
+                s.stats.speculative_issued for s in services.values()
+            ),
+            speculative_useful=sum(
+                s.stats.speculative_useful for s in services.values()
+            ),
+            speculative_wasted=sum(
+                s.stats.speculative_wasted for s in services.values()
+            ),
+            backend=next(iter(services.values())).backend_name if services else None,
+            batch_calls=sum(s.stats.batch_calls for s in services.values()),
+            batch_lanes=sum(s.stats.batch_lanes for s in services.values()),
+        )
+        return DesignSpaceResult(
+            graph_name=sadf.name,
+            observe=observe,
+            front=front,
+            stats=stats,
+            lower_bounds=lower,
+            upper_bounds=upper,
+            max_throughput=max_thr,
+            complete=complete,
+            exhausted=exhausted,
+            resume_token=resume_token if not complete else None,
+            telemetry=hub.snapshot(),
+        )
+    finally:
+        for name, service in services.items():
+            if on_export is not None:
+                on_export(name, service.export_state())
+            service.close()
+
+
+def max_worst_case_throughput(
+    sadf: SADFGraph, observe: str | None = None, confirmations: int = 2
+) -> Fraction:
+    """Maximal worst-case throughput over all storage distributions.
+
+    Evaluated at the conservative upper bound and doubled until stable
+    for *confirmations* consecutive doublings (the CSDF adaptive
+    scheme), with plain reference executions — no caches or budgets.
+    """
+    sadf.validate()
+    reachable = sadf.effective_fsm().reachable()
+    capacities = _merged_bound(sadf, reachable, upper_bound_distribution)
+    best = worst_case_throughput(sadf, capacities, observe).worst_case
+    stable = 0
+    while stable < confirmations:
+        capacities = capacities.scaled(2)
+        enlarged = worst_case_throughput(sadf, capacities, observe).worst_case
+        if enlarged == best:
+            stable += 1
+        else:
+            best = enlarged
+            stable = 0
+    return best
+
+
+def minimal_sadf_distribution_for_throughput(
+    sadf: SADFGraph,
+    constraint: Fraction,
+    observe: str | None = None,
+    *,
+    config: ExplorationConfig | None = None,
+) -> ParetoPoint | None:
+    """Smallest distribution whose *worst-case* throughput meets
+    *constraint* in every reachable scenario and switching pattern.
+
+    Returns ``None`` when the constraint exceeds the graph's maximal
+    worst-case throughput.
+    """
+    if constraint <= 0:
+        raise ExplorationError("the throughput constraint must be positive")
+    result = explore_design_space(sadf, observe, config=config)
+    return result.front.smallest_for(constraint)
+
+
+# -- internals --------------------------------------------------------------
+def _explore_degenerate(
+    sadf: SADFGraph,
+    observe: str,
+    *,
+    strategy: str,
+    max_size: int | None,
+    config: ExplorationConfig,
+    resume: object,
+    scenario_states: Mapping[str, Mapping] | None,
+    on_export: Callable[[str, Mapping], None] | None,
+) -> DesignSpaceResult:
+    """Single-scenario graphs reduce to plain SDF exploration.
+
+    The scenario graph is copied under the SADF graph's own name, so
+    results, checkpoints and fronts are bit-identical to running the
+    SDF explorer on the original graph directly.
+    """
+    (only,) = sadf.scenario_names
+    graph = sadf.scenario_graph(only).copy(sadf.name)
+    if scenario_states is None and on_export is None:
+        return _explore_sdf(
+            graph,
+            observe,
+            strategy=strategy,
+            max_size=max_size,
+            config=config,
+            resume=resume,
+        )
+    # Service-plane path: own the evaluation service so its memo can be
+    # warm-started from and banked back into the caller's store.
+    service = EvaluationService(
+        graph, observe, config=config.replaced(checkpoint=None, evaluator=None)
+    )
+    try:
+        state = (scenario_states or {}).get(only)
+        if state and state.get("memo"):
+            service.restore_state(state)
+        return _explore_sdf(
+            graph,
+            observe,
+            strategy=strategy,
+            max_size=max_size,
+            config=ExplorationConfig(evaluator=service, checkpoint=config.checkpoint),
+            resume=resume,
+        )
+    finally:
+        if on_export is not None:
+            on_export(only, service.export_state())
+        service.close()
+
+
+def _merged_bound(
+    sadf: SADFGraph,
+    scenarios: tuple[str, ...],
+    bound: Callable[[object], StorageDistribution],
+) -> StorageDistribution:
+    """Per-channel maximum of a per-scenario bound — valid (and for the
+    lower bound, necessary) in every reachable scenario at once."""
+    merged: StorageDistribution | None = None
+    for name in scenarios:
+        current = bound(sadf.scenario_graph(name))
+        merged = current if merged is None else merged.merged_max(current)
+    assert merged is not None  # validate() guarantees scenarios exist
+    return merged
+
+
+def _coerce_sadf_resume(resume: object) -> Mapping:
+    """Accept a token, payload mapping or checkpoint path; validate the
+    multi-scenario format."""
+    if isinstance(resume, ResumeToken):
+        payload = dict(resume.payload)
+    elif isinstance(resume, (str, Path)):
+        try:
+            payload = json.loads(Path(resume).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"{resume}: not valid checkpoint JSON ({error})"
+            ) from None
+    elif isinstance(resume, Mapping):
+        payload = dict(resume)
+    else:
+        raise CheckpointError(
+            f"cannot resume from {type(resume).__name__}: expected a"
+            " ResumeToken, a checkpoint path or a payload mapping"
+        )
+    if not isinstance(payload, dict) or payload.get("format") != SADF_CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a {SADF_CHECKPOINT_FORMAT} payload (single-scenario runs"
+            " write plain SDF checkpoints; resume those through the SDF path)"
+        )
+    if payload.get("version") != SADF_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {payload.get('version')!r} is not supported"
+            f" (expected {SADF_CHECKPOINT_VERSION})"
+        )
+    for key in ("graph", "observe", "channels", "scenarios"):
+        if key not in payload:
+            raise CheckpointError(f"checkpoint misses the {key!r} section")
+    return payload
+
+
+def _restore_scenarios(
+    payload: Mapping,
+    sadf: SADFGraph,
+    observe: str,
+    services: Mapping[str, EvaluationService],
+) -> None:
+    if payload["graph"] != sadf.name:
+        raise CheckpointError(
+            f"checkpoint was written for graph {payload['graph']!r},"
+            f" not {sadf.name!r}"
+        )
+    if list(payload["channels"]) != list(sadf.channel_names):
+        raise CheckpointError(
+            f"checkpoint channel set {payload['channels']} does not match"
+            f" graph {sadf.name!r} ({list(sadf.channel_names)})"
+        )
+    if payload["observe"] != observe:
+        raise CheckpointError(
+            f"checkpoint observed {payload['observe']!r}, not {observe!r}"
+        )
+    for name, state in payload["scenarios"].items():
+        if name in services and state.get("memo"):
+            services[name].restore_state(state)

@@ -1,0 +1,218 @@
+"""The scenario finite-state machine of an FSM-SADF graph.
+
+States are scenario names; an infinite *accepted scenario sequence* is
+any walk from the initial state along transitions.  Each transition
+carries an optional non-negative integer **delay**: the reconfiguration
+time the platform spends switching modes before the next scenario's
+first firing may start (Jung/Oh/Ha, arXiv:1603.05775).
+
+The worst-case analysis of :mod:`repro.sadf.throughput` needs three
+structural queries, all cheap on the tiny FSMs that occur in practice:
+reachability from the initial state, zero-delay self-loops (a scenario
+the application may *reside* in, executing pipelined), and the simple
+cycles of the reachable sub-FSM (the periodic switching patterns that
+bound long-run throughput from below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import GraphError
+
+#: Simple-cycle enumeration cap: beyond this many cycles the worst-case
+#: analysis switches to its conservative per-scenario fallback (densely
+#: connected FSMs have exponentially many simple cycles).
+MAX_ENUMERATED_CYCLES = 64
+
+
+@dataclass(frozen=True)
+class ScenarioTransition:
+    """One FSM edge: switch from *source*'s scenario to *target*'s."""
+
+    source: str
+    target: str
+    delay: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise GraphError("transition endpoints must be non-empty scenario names")
+        if not isinstance(self.delay, int) or isinstance(self.delay, bool):
+            raise GraphError(
+                f"transition {self.source!r} -> {self.target!r}: delay must be int"
+            )
+        if self.delay < 0:
+            raise GraphError(
+                f"transition {self.source!r} -> {self.target!r}: delay must be >= 0"
+            )
+
+
+class ScenarioFSM:
+    """FSM over scenario names with per-transition delays."""
+
+    def __init__(
+        self,
+        initial: str,
+        transitions: Iterable[ScenarioTransition | Sequence] = (),
+    ):
+        if not initial:
+            raise GraphError("the FSM needs a non-empty initial scenario")
+        self.initial = initial
+        self._transitions: dict[tuple[str, str], ScenarioTransition] = {}
+        self._order: list[str] = [initial]
+        for transition in transitions:
+            if isinstance(transition, ScenarioTransition):
+                self.add_transition(
+                    transition.source, transition.target, transition.delay
+                )
+            else:
+                self.add_transition(*transition)
+
+    # -- construction -------------------------------------------------------
+    def add_transition(
+        self, source: str, target: str, delay: int = 0
+    ) -> ScenarioTransition:
+        """Allow switching from *source* to *target* (at most one edge
+        per ordered pair)."""
+        transition = ScenarioTransition(source, target, delay)
+        key = (source, target)
+        if key in self._transitions:
+            raise GraphError(
+                f"duplicate transition {source!r} -> {target!r};"
+                " at most one edge per ordered scenario pair"
+            )
+        self._transitions[key] = transition
+        for state in (source, target):
+            if state not in self._order:
+                self._order.append(state)
+        return transition
+
+    @classmethod
+    def single(cls, scenario: str) -> "ScenarioFSM":
+        """The degenerate FSM: one state, one zero-delay self-loop —
+        accepts exactly the constant sequence (plain SDF semantics)."""
+        return cls(scenario, [(scenario, scenario, 0)])
+
+    @classmethod
+    def complete(cls, scenarios: Sequence[str], delay: int = 0) -> "ScenarioFSM":
+        """The *any order* FSM: fully connected (self-loops included)
+        over *scenarios*, every transition carrying *delay*."""
+        if not scenarios:
+            raise GraphError("ScenarioFSM.complete needs at least one scenario")
+        fsm = cls(scenarios[0])
+        for source in scenarios:
+            for target in scenarios:
+                fsm.add_transition(source, target, delay)
+        return fsm
+
+    # -- access -------------------------------------------------------------
+    @property
+    def states(self) -> tuple[str, ...]:
+        """Every scenario named by the FSM (initial first, then in order
+        of first mention)."""
+        return tuple(self._order)
+
+    @property
+    def transitions(self) -> tuple[ScenarioTransition, ...]:
+        """All transitions, in insertion order."""
+        return tuple(self._transitions.values())
+
+    def successors(self, state: str) -> tuple[ScenarioTransition, ...]:
+        """Outgoing transitions of *state* (insertion order)."""
+        return tuple(t for t in self._transitions.values() if t.source == state)
+
+    def transition(self, source: str, target: str) -> ScenarioTransition | None:
+        """The edge *source* -> *target*, or ``None``."""
+        return self._transitions.get((source, target))
+
+    def has_zero_delay_self_loop(self, state: str) -> bool:
+        """Whether the application may *reside* in *state*: repeat its
+        scenario back-to-back with no switching barrier."""
+        loop = self._transitions.get((state, state))
+        return loop is not None and loop.delay == 0
+
+    @property
+    def max_delay(self) -> int:
+        """The largest transition delay (0 for an empty FSM)."""
+        return max((t.delay for t in self._transitions.values()), default=0)
+
+    # -- structure ----------------------------------------------------------
+    def reachable(self) -> tuple[str, ...]:
+        """States reachable from the initial one (discovery order)."""
+        seen: list[str] = [self.initial]
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for transition in self.successors(state):
+                if transition.target not in seen:
+                    seen.append(transition.target)
+                    frontier.append(transition.target)
+        return tuple(seen)
+
+    def is_fully_connected(self) -> bool:
+        """Every reachable state can switch to every reachable state."""
+        reachable = self.reachable()
+        return all(
+            (source, target) in self._transitions
+            for source in reachable
+            for target in reachable
+        )
+
+    def simple_cycles(
+        self, limit: int = MAX_ENUMERATED_CYCLES
+    ) -> tuple[tuple[tuple[ScenarioTransition, ...], ...], bool]:
+        """The simple cycles of the reachable sub-FSM.
+
+        Zero-delay self-loops are *excluded*: residing in a scenario is
+        priced by its pipelined steady-state throughput, not by the
+        switching barrier (see :mod:`repro.sadf.throughput`).  Delayed
+        self-loops count as cycles of length one.
+
+        Returns ``(cycles, truncated)``; each cycle is the tuple of
+        transitions traversed.  ``truncated`` is ``True`` when more
+        than *limit* cycles exist — callers must then fall back to the
+        conservative per-scenario bound.
+        """
+        reachable = self.reachable()
+        index = {state: i for i, state in enumerate(reachable)}
+        cycles: list[tuple[ScenarioTransition, ...]] = []
+        truncated = False
+
+        # Rooted DFS enumeration: every simple cycle is discovered once,
+        # at its lowest-indexed state (Johnson-style root ordering; the
+        # FSMs are tiny, so no blocking sets are needed).
+        for root in reachable:
+            root_idx = index[root]
+            stack: list[tuple[str, tuple[ScenarioTransition, ...]]] = [(root, ())]
+            while stack:
+                state, path = stack.pop()
+                for transition in self.successors(state):
+                    target = transition.target
+                    if target not in index or index[target] < root_idx:
+                        continue
+                    if target == root:
+                        if transition.source == transition.target and transition.delay == 0:
+                            continue  # zero-delay self-loop: residence, not a cycle
+                        if len(cycles) >= limit:
+                            return tuple(cycles), True
+                        cycles.append(path + (transition,))
+                    elif all(t.source != target and t.target != target for t in path):
+                        stack.append((target, path + (transition,)))
+        return tuple(cycles), truncated
+
+    # -- rendering ----------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        edges = ", ".join(
+            f"{t.source}->{t.target}"
+            + (f"({t.delay})" if t.delay else "")
+            for t in self._transitions.values()
+        )
+        return f"initial={self.initial}; {edges or 'no transitions'}"
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioFSM(initial={self.initial!r},"
+            f" states={len(self._order)}, transitions={len(self._transitions)})"
+        )

@@ -1,0 +1,249 @@
+"""Worst-case throughput of an FSM-SADF graph over all accepted
+scenario sequences.
+
+**Switch-barrier semantics.**  While the FSM keeps taking a zero-delay
+self-loop on scenario *s*, the graph executes *s*'s SDF semantics
+self-timed and pipelined — its long-run rate is the familiar
+steady-state throughput ``thr_s(d)`` under storage distribution *d*.
+Taking any other transition drains the pipeline: the current iteration
+completes (returning every channel to its initial marking), the
+transition delay elapses, and the next scenario starts afresh.  One
+barriered iteration of *s* therefore costs its *iteration makespan*
+``ms_s(d)`` (:mod:`repro.sadf.makespan`).
+
+**Worst case.**  Any infinite accepted sequence decomposes into
+residences (self-looping on one scenario) and switching tours (cycles
+of the FSM).  Its long-run observed rate is bounded from below by
+
+* ``thr_s(d)`` for every reachable scenario *s* with a zero-delay
+  self-loop, and
+* ``ratio_C(d) = (sum of observed firings) / (sum of makespans + sum
+  of delays)`` for every simple cycle *C* of the reachable sub-FSM,
+
+and the bound is attained (stay forever in the worst residence, or
+tour the worst cycle forever).  By the mediant inequality the ratio of
+any composite cycle is at least the minimum over the simple cycles it
+decomposes into, so the minimum over the two families above *is* the
+exact worst case under this protocol.
+
+**Conservative fallback.**  A densely connected FSM (in particular a
+fully connected one, where every switching order is accepted) has
+exponentially many simple cycles.  Beyond
+:data:`~repro.sadf.fsm.MAX_ENUMERATED_CYCLES` the analysis returns the
+per-scenario minimum ``min_s min(thr_s(d), r_s / (ms_s(d) + D))`` with
+``D`` the largest transition delay — a sound lower bound on every
+residence rate and every cycle ratio (each cycle term is at least the
+minimum of its per-scenario mediants), flagged ``fallback=True``.
+
+Every quantity is exact (:class:`fractions.Fraction`), and every
+component is monotone in *d* (more buffer space never slows the
+self-timed execution), so the worst case is monotone too — which is
+what lets the Pareto machinery of :mod:`repro.sadf.explorer` prune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from collections.abc import Callable, Mapping
+
+from repro.engine.executor import Executor
+from repro.exceptions import GraphError
+from repro.sadf.fsm import MAX_ENUMERATED_CYCLES
+from repro.sadf.graph import SADFGraph
+from repro.sadf.makespan import MakespanResult, iteration_makespan
+
+
+@dataclass(frozen=True)
+class CycleRatio:
+    """Long-run rate of touring one FSM cycle forever.
+
+    ``states`` lists the scenarios visited (in order), ``firings`` the
+    observed-actor completions per tour, ``duration`` the tour's total
+    time (makespans plus delays).  A ``None`` duration marks a tour
+    through a scenario whose iteration deadlocks (rate 0).
+    """
+
+    states: tuple[str, ...]
+    firings: int
+    duration: int | None
+    delay: int
+
+    @property
+    def ratio(self) -> Fraction:
+        if self.duration is None or self.duration <= 0:
+            return Fraction(0) if self.duration is None else Fraction(self.firings, 1)
+        return Fraction(self.firings, self.duration)
+
+
+@dataclass(frozen=True)
+class WorstCaseReport:
+    """Full worst-case throughput decomposition at one distribution."""
+
+    observe: str
+    worst_case: Fraction
+    per_scenario: Mapping[str, Fraction]
+    makespans: Mapping[str, int | None]
+    cycles: tuple[CycleRatio, ...]
+    critical: str
+    fallback: bool
+
+    def summary(self) -> str:
+        lines = [f"worst-case throughput of {self.observe!r}: {self.worst_case}"]
+        for name, value in self.per_scenario.items():
+            makespan = self.makespans.get(name)
+            lines.append(
+                f"  scenario {name}: steady-state {value},"
+                f" iteration makespan {makespan if makespan is not None else 'deadlock'}"
+            )
+        for cycle in self.cycles:
+            lines.append(
+                f"  cycle {' -> '.join(cycle.states)}: {cycle.firings} firing(s)"
+                f" / {cycle.duration if cycle.duration is not None else 'deadlock'}"
+                f" (+{cycle.delay} delay) = {cycle.ratio}"
+            )
+        lines.append(
+            f"  binding constraint: {self.critical}"
+            + (" [conservative fallback]" if self.fallback else "")
+        )
+        return "\n".join(lines)
+
+
+def worst_case_throughput(
+    sadf: SADFGraph,
+    distribution: Mapping[str, int],
+    observe: str | None = None,
+    *,
+    throughputs: Callable[[str], Fraction] | None = None,
+    makespans: Callable[[str], MakespanResult] | None = None,
+    cycle_limit: int = MAX_ENUMERATED_CYCLES,
+) -> WorstCaseReport:
+    """Exact worst-case throughput of *sadf* at *distribution*.
+
+    ``throughputs`` / ``makespans`` optionally supply memoised
+    per-scenario oracles (the explorer's evaluation services); by
+    default each scenario is executed directly with the reference
+    engine.  Both must price exactly the given distribution.
+    """
+    sadf.validate()
+    if observe is None:
+        observe = sadf.actor_names[-1]
+    if observe not in sadf.actors:
+        raise GraphError(f"SADF graph {sadf.name!r} has no actor {observe!r}")
+
+    fsm = sadf.effective_fsm()
+    reachable = fsm.reachable()
+
+    def scenario_throughput(name: str) -> Fraction:
+        if throughputs is not None:
+            return throughputs(name)
+        graph = sadf.scenario_graph(name)
+        return Executor(graph, dict(distribution), observe).run().throughput
+
+    def scenario_makespan(name: str) -> MakespanResult:
+        if makespans is not None:
+            return makespans(name)
+        return iteration_makespan(
+            sadf.scenario_graph(name),
+            distribution,
+            sadf.scenario_repetitions(name),
+        )
+
+    per_scenario = {name: scenario_throughput(name) for name in reachable}
+    makespan_results = {name: scenario_makespan(name) for name in reachable}
+    makespan_times = {name: r.time for name, r in makespan_results.items()}
+    firings = {
+        name: sadf.scenario_repetitions(name)[observe] for name in reachable
+    }
+
+    # A reachable scenario that deadlocks — in steady state or within
+    # one barriered iteration — pins the worst case to zero outright.
+    for name in reachable:
+        if per_scenario[name] == 0 or makespan_times[name] is None:
+            return WorstCaseReport(
+                observe,
+                Fraction(0),
+                per_scenario,
+                makespan_times,
+                (),
+                f"scenario {name!r} deadlocks at this distribution",
+                False,
+            )
+
+    cycles, truncated = fsm.simple_cycles(limit=cycle_limit)
+    if truncated:
+        # Conservative fallback: lower-bounds every residence rate and
+        # every cycle ratio (see the module docstring).
+        ceiling_delay = fsm.max_delay
+        bound: Fraction | None = None
+        critical = ""
+        for name in reachable:
+            candidate = min(
+                per_scenario[name],
+                Fraction(firings[name], makespan_times[name] + ceiling_delay)
+                if makespan_times[name] + ceiling_delay > 0
+                else per_scenario[name],
+            )
+            if bound is None or candidate < bound:
+                bound = candidate
+                critical = f"per-scenario fallback bound of {name!r}"
+        assert bound is not None
+        return WorstCaseReport(
+            observe, bound, per_scenario, makespan_times, (), critical, True
+        )
+
+    candidates: list[tuple[Fraction, str]] = []
+    for name in reachable:
+        if fsm.has_zero_delay_self_loop(name):
+            candidates.append(
+                (per_scenario[name], f"residence in scenario {name!r}")
+            )
+
+    cycle_ratios: list[CycleRatio] = []
+    for cycle in cycles:
+        states = tuple(t.source for t in cycle)
+        delay = sum(t.delay for t in cycle)
+        duration = sum(makespan_times[s] for s in states) + delay
+        ratio = CycleRatio(
+            states,
+            sum(firings[s] for s in states),
+            duration,
+            delay,
+        )
+        cycle_ratios.append(ratio)
+        candidates.append(
+            (ratio.ratio, f"switching cycle {' -> '.join(states)}")
+        )
+
+    if not candidates:
+        # No self-loop and no cycle: every accepted sequence is finite
+        # (the FSM runs into a dead end).  Long-run throughput is then
+        # determined by the last scenario it can stay in — there is
+        # none, so the worst case degenerates to the slowest barriered
+        # iteration rate (a sound, conservative reading).
+        worst = min(
+            Fraction(firings[s], makespan_times[s])
+            if makespan_times[s] > 0
+            else per_scenario[s]
+            for s in reachable
+        )
+        return WorstCaseReport(
+            observe,
+            worst,
+            per_scenario,
+            makespan_times,
+            (),
+            "FSM has no infinite behaviour; slowest barriered iteration",
+            True,
+        )
+
+    worst, critical = min(candidates, key=lambda item: item[0])
+    return WorstCaseReport(
+        observe,
+        worst,
+        per_scenario,
+        makespan_times,
+        tuple(cycle_ratios),
+        critical,
+        False,
+    )

@@ -25,11 +25,14 @@ telemetry span log, and queryable back via ``GET /v1/traces/<id>``.
 Endpoints
 ---------
 ``POST /v1/graphs``
-    Body: a :mod:`repro.io.jsonio` graph document.  Registers the
-    graph content-addressed; returns ``{"fingerprint", "known"}``.
+    Body: a :mod:`repro.io.jsonio` graph document or a
+    :mod:`repro.io.sadfjson` scenario (SADF) document (recognised by
+    its ``"model": "sadf"`` marker).  Registers the graph
+    content-addressed; returns ``{"fingerprint", "known"}``.
 ``POST /v1/jobs``
     Body: ``{"graph": <fingerprint or inline graph document>,
-    "kind": "throughput" | "dse" | "minimal-distribution", "observe",
+    "kind": "throughput" | "dse" | "minimal-distribution" |
+    "dse-sadf" (scenario-aware DSE on an SADF graph), "observe",
     "params", "priority", "deadline_s", "max_probes", "job_class",
     "idempotency_key"}``.  Inline graphs are registered on the fly.
     Returns 202 with the job rendering — or 200 with the *original*

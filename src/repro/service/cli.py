@@ -144,9 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--url", default=DEFAULT_URL, help=f"server base URL (default: {DEFAULT_URL})")
     submit.add_argument(
         "--kind",
-        choices=("dse", "throughput", "minimal-distribution"),
+        choices=("dse", "throughput", "minimal-distribution", "dse-sadf"),
         default="dse",
-        help="analysis to run (default: dse)",
+        help="analysis to run; dse-sadf takes an SADF input (default: dse)",
     )
     submit.add_argument("--observe", metavar="ACTOR", help="actor whose throughput is analysed")
     submit.add_argument("--strategy", choices=("dependency", "divide", "exhaustive"), default="dependency")
@@ -290,7 +290,7 @@ def _submit(arguments: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient
 
     params: dict = {}
-    if arguments.kind == "dse":
+    if arguments.kind in ("dse", "dse-sadf"):
         params["strategy"] = arguments.strategy
         if arguments.max_size is not None:
             params["max_size"] = arguments.max_size
@@ -306,9 +306,15 @@ def _submit(arguments: argparse.Namespace) -> int:
         params["capacities"] = dict(parse_capacities(arguments.capacities))
 
     client = ServiceClient(arguments.url)
-    graph = load_graph(arguments.graph)
+    if arguments.kind == "dse-sadf":
+        from repro.cli import load_sadf
+        from repro.io.sadfjson import sadf_to_dict
+
+        document = sadf_to_dict(load_sadf(arguments.graph))
+    else:
+        document = graph_to_dict(load_graph(arguments.graph))
     job = client.submit_job(
-        graph_to_dict(graph),
+        document,
         kind=arguments.kind,
         observe=arguments.observe,
         params=params,
@@ -414,7 +420,7 @@ def _print_job(job: dict) -> None:
     result = job.get("result")
     if not result:
         return
-    if job["kind"] == "dse":
+    if job["kind"] in ("dse", "dse-sadf"):
         front = result.get("pareto_front", [])
         flag = "" if result.get("complete", True) else f"  (partial: {result.get('exhausted')})"
         print(f"  Pareto points: {len(front)}{flag}")

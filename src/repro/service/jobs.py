@@ -63,10 +63,12 @@ from repro.runtime.budget import Budget, CancelToken
 from repro.runtime.config import ExplorationConfig
 from repro.runtime.telemetry import TelemetryEvent, TelemetryHub
 from collections.abc import Callable
+from repro.sadf.explorer import explore_design_space as explore_sadf_design_space
+from repro.sadf.graph import SADFGraph
 from repro.service.registry import GraphRegistry
 from repro.service.resilience import JOB_CLASSES, Bulkhead, CircuitBreaker, classify
 
-JOB_KINDS = ("throughput", "dse", "minimal-distribution")
+JOB_KINDS = ("throughput", "dse", "minimal-distribution", "dse-sadf")
 JOB_STATES = ("queued", "running", "done", "partial", "failed", "cancelled")
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 
@@ -78,7 +80,9 @@ class JobSpec:
     ``params`` carries the kind-specific inputs: ``capacities`` for
     ``throughput`` jobs, ``throughput`` (a ``"p/q"`` string) for
     ``minimal-distribution`` jobs, and optional ``strategy`` /
-    ``max_size`` for ``dse`` jobs.  ``priority`` orders the queue —
+    ``max_size`` for ``dse`` jobs.  ``dse-sadf`` jobs run the
+    scenario-aware exploration (:mod:`repro.sadf`) against a registered
+    SADF graph and take the same optional ``max_size``.  ``priority`` orders the queue —
     lower numbers run first, ties in submission order.  ``job_class``
     optionally overrides the bulkhead class derived from ``kind``
     (``"interactive"`` for point queries, ``"batch"`` for DSE).
@@ -310,7 +314,13 @@ class JobManager:
         queue raises :class:`~repro.exceptions.ServiceUnavailable`
         (503).
         """
-        self.registry.get(spec.fingerprint)  # 404 on unknown graphs
+        graph = self.registry.get(spec.fingerprint)  # 404 on unknown graphs
+        if (spec.kind == "dse-sadf") != isinstance(graph, SADFGraph):
+            raise ServiceError(
+                f"job kind {spec.kind!r} does not fit the registered graph:"
+                " scenario (SADF) graphs take kind 'dse-sadf', plain SDF"
+                " graphs take the other kinds"
+            )
         job_class = spec.resolved_class
         with self._cond:
             if idempotency_key is not None:
@@ -470,6 +480,9 @@ class JobManager:
                 if callback is not None:
                     callback(_job, event)
 
+            if job.spec.kind == "dse-sadf":
+                self._run_dse_sadf(job, graph, budget, forward)
+                return
             service = EvaluationService(
                 graph,
                 job.spec.observe,
@@ -570,6 +583,65 @@ class JobManager:
             ),
             resume=resume,
         )
+        with self._cond:
+            job.result = result.to_dict()
+            job.exhausted = result.exhausted
+            if result.complete:
+                self._finalize(job, "done")
+            elif job.cancel_requested:
+                self._finalize(job, "cancelled")
+            elif result.exhausted == "cancelled":
+                self._requeue_interrupted(job)  # server-driven (shutdown)
+            else:
+                self._finalize(job, "partial")
+
+    def _run_dse_sadf(
+        self, job: Job, sadf: SADFGraph, budget: Budget, forward
+    ) -> None:
+        """Scenario-aware DSE: same lifecycle as :meth:`_run_dse`, but
+        the exploration spans every scenario of an SADF graph, so the
+        memo sharing is per scenario — one bank per
+        ``observe@scenario`` key, seeded in and absorbed back through
+        the explorer's ``scenario_states`` / ``on_export`` hooks."""
+        params = job.spec.params
+        checkpoint = self._checkpoint_path(job)
+        resume = (
+            str(checkpoint)
+            if checkpoint is not None and checkpoint.exists()
+            else None
+        )
+        fingerprint = job.spec.fingerprint
+        observe = job.spec.observe
+        scenario_states: dict[str, Mapping] = {}
+        for name in sadf.scenario_names:
+            bank = self.registry.bank(fingerprint, f"{observe}@{name}")
+            if len(bank):
+                scenario_states[name] = bank.snapshot()
+
+        def absorb(name: str, state: Mapping) -> None:
+            self.registry.bank(fingerprint, f"{observe}@{name}").absorb(state)
+
+        result = explore_sadf_design_space(
+            sadf,
+            observe,
+            strategy=str(params.get("strategy", "dependency")),
+            max_size=params.get("max_size"),
+            config=ExplorationConfig(
+                engine=self.engine,
+                budget=budget,
+                on_event=forward,
+                bounds=bool(params.get("bounds", False)),
+                speculate=bool(params.get("speculate", False)),
+                backend=params.get("backend"),
+                batch=int(params.get("batch", 0)),
+                checkpoint=checkpoint,
+            ),
+            resume=resume,
+            scenario_states=scenario_states or None,
+            on_export=absorb,
+        )
+        if result.telemetry is not None:
+            self.telemetry.merge(result.telemetry)
         with self._cond:
             job.result = result.to_dict()
             job.exhausted = result.exhausted

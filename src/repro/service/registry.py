@@ -32,6 +32,13 @@ from collections.abc import Mapping
 from repro.exceptions import ServiceError
 from repro.graph.graph import SDFGraph
 from repro.io.jsonio import graph_fingerprint, graph_from_dict, graph_to_dict
+from repro.io.sadfjson import (
+    is_sadf_document,
+    sadf_fingerprint,
+    sadf_from_dict,
+    sadf_to_dict,
+)
+from repro.sadf.graph import SADFGraph
 
 
 class MemoBank:
@@ -84,15 +91,18 @@ class GraphRegistry:
 
     def __init__(self, data_dir: str | Path | None = None):
         self._lock = threading.RLock()
-        self._graphs: dict[str, SDFGraph] = {}
+        self._graphs: dict[str, SDFGraph | SADFGraph] = {}
         self._banks: dict[tuple[str, str], MemoBank] = {}
         self._dir: Path | None = None
         if data_dir is not None:
             self._dir = Path(data_dir) / "graphs"
             self._dir.mkdir(parents=True, exist_ok=True)
             for path in sorted(self._dir.glob("*.json")):
-                graph = graph_from_dict(json.loads(path.read_text(encoding="utf-8")))
-                self._graphs[path.stem] = graph
+                data = json.loads(path.read_text(encoding="utf-8"))
+                if is_sadf_document(data):
+                    self._graphs[path.stem] = sadf_from_dict(data)
+                else:
+                    self._graphs[path.stem] = graph_from_dict(data)
 
     def __len__(self) -> int:
         with self._lock:
@@ -102,16 +112,25 @@ class GraphRegistry:
         with self._lock:
             return sorted(self._graphs)
 
-    def add(self, graph: SDFGraph | Mapping) -> tuple[str, bool]:
-        """Register *graph* (an :class:`SDFGraph` or a JSON dict).
+    def add(self, graph: SDFGraph | SADFGraph | Mapping) -> tuple[str, bool]:
+        """Register *graph* (an :class:`SDFGraph`, an
+        :class:`~repro.sadf.graph.SADFGraph`, or a JSON dict — scenario
+        documents are recognised by their ``"model": "sadf"`` marker).
 
         Returns ``(fingerprint, known)`` where *known* tells whether an
         identical graph was already registered — in which case the
         existing entry (and its warm memo banks) is kept.
         """
-        if not isinstance(graph, SDFGraph):
-            graph = graph_from_dict(graph)
-        fingerprint = graph_fingerprint(graph)
+        if isinstance(graph, Mapping):
+            graph = sadf_from_dict(graph) if is_sadf_document(graph) else (
+                graph_from_dict(graph)
+            )
+        if isinstance(graph, SADFGraph):
+            fingerprint = sadf_fingerprint(graph)
+            payload = sadf_to_dict(graph)
+        else:
+            fingerprint = graph_fingerprint(graph)
+            payload = graph_to_dict(graph)
         with self._lock:
             known = fingerprint in self._graphs
             if not known:
@@ -119,12 +138,11 @@ class GraphRegistry:
                 if self._dir is not None:
                     path = self._dir / f"{fingerprint}.json"
                     path.write_text(
-                        json.dumps(graph_to_dict(graph), indent=2) + "\n",
-                        encoding="utf-8",
+                        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
                     )
         return fingerprint, known
 
-    def get(self, fingerprint: str) -> SDFGraph:
+    def get(self, fingerprint: str) -> SDFGraph | SADFGraph:
         """The graph stored under *fingerprint* (404 when unknown)."""
         with self._lock:
             try:

@@ -51,6 +51,7 @@ KIND_CLASSES = {
     "throughput": "interactive",
     "minimal-distribution": "interactive",
     "dse": "batch",
+    "dse-sadf": "batch",
 }
 
 #: Breaker states, also exported as a numeric gauge on ``/metrics``

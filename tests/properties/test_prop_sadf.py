@@ -1,0 +1,93 @@
+"""Property tests: the degenerate SADF path is bit-identical to SDF.
+
+A single-scenario SADF graph with a zero-delay self-loop FSM *is* an
+SDF graph; :func:`repro.sadf.explorer.explore_design_space` promises
+to reproduce the plain SDF exploration on such graphs exactly —
+fronts, witness distributions, max throughput and probe counts.  These
+tests pin that promise on random consistent graphs and on the gallery
+workloads, plus the sadfjson round-trip and the multi-scenario
+checkpoint replay property.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.buffers.explorer import explore_design_space as explore_sdf
+from repro.gallery import h263_frames, modem
+from repro.gallery.paper import fig1_example
+from repro.gallery.bml99 import sample_rate_converter
+from repro.gallery.random_graphs import random_consistent_graph
+from repro.io.sadfjson import sadf_from_dict, sadf_to_dict
+from repro.runtime.budget import Budget
+from repro.runtime.config import ExplorationConfig
+from repro.sadf.explorer import explore_design_space as explore_sadf
+from repro.sadf.graph import from_sdf
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def identical(sdf_result, sadf_result):
+    assert sadf_result.front.to_dicts() == sdf_result.front.to_dicts()
+    assert sadf_result.max_throughput == sdf_result.max_throughput
+    assert sadf_result.stats.evaluations == sdf_result.stats.evaluations
+    assert sadf_result.lower_bounds == sdf_result.lower_bounds
+    assert sadf_result.complete and sdf_result.complete
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_degenerate_matches_sdf_on_random_graphs(seed):
+    graph = random_consistent_graph(random.Random(seed))
+    observe = graph.actor_names[-1]
+    identical(
+        explore_sdf(graph, observe),
+        explore_sadf(from_sdf(graph), observe),
+    )
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_lifted_roundtrip_preserves_degenerate_front(seed):
+    graph = random_consistent_graph(random.Random(seed))
+    observe = graph.actor_names[-1]
+    lifted = sadf_from_dict(sadf_to_dict(from_sdf(graph)))
+    identical(explore_sdf(graph, observe), explore_sadf(lifted, observe))
+
+
+@pytest.mark.parametrize(
+    "factory,observe",
+    [(fig1_example, "c"), (sample_rate_converter, None)],
+)
+def test_degenerate_matches_sdf_on_gallery(factory, observe):
+    graph = factory()
+    identical(
+        explore_sdf(graph, observe),
+        explore_sadf(from_sdf(graph), observe),
+    )
+
+
+@pytest.mark.slow
+def test_degenerate_matches_sdf_on_modem():
+    graph = modem()
+    identical(explore_sdf(graph), explore_sadf(from_sdf(graph)))
+
+
+@given(st.integers(min_value=1, max_value=8))
+@settings(max_examples=8, deadline=None)
+def test_checkpoint_replay_is_exact(probes):
+    """Interrupting a multi-scenario sweep after any number of probes
+    and resuming always lands on the uninterrupted front."""
+    full = explore_sadf(h263_frames(), "mc")
+    partial = explore_sadf(
+        h263_frames(), "mc",
+        config=ExplorationConfig(budget=Budget(max_probes=probes)),
+    )
+    if partial.complete:
+        assert partial.front.to_dicts() == full.front.to_dicts()
+        return
+    resumed = explore_sadf(h263_frames(), "mc", resume=partial.resume_token)
+    assert resumed.complete
+    assert resumed.front.to_dicts() == full.front.to_dicts()
+    assert resumed.max_throughput == full.max_throughput

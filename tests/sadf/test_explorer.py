@@ -1,0 +1,177 @@
+"""Unit tests for the all-scenario design-space exploration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers.explorer import explore_design_space as explore_sdf
+from repro.exceptions import CheckpointError, ExplorationError
+from repro.gallery import h263_frames
+from repro.runtime.budget import Budget
+from repro.runtime.config import ExplorationConfig
+from repro.sadf.explorer import (
+    SADF_CHECKPOINT_FORMAT,
+    SADF_STRATEGY,
+    explore_design_space,
+    max_worst_case_throughput,
+    minimal_sadf_distribution_for_throughput,
+)
+from repro.sadf.fsm import ScenarioFSM
+from repro.sadf.graph import SADFGraph, from_sdf
+from repro.sadf.throughput import worst_case_throughput
+
+
+def two_mode() -> SADFGraph:
+    sadf = SADFGraph("toy")
+    sadf.add_actor("a")
+    sadf.add_actor("b")
+    sadf.add_channel("a", "b", name="c")
+    sadf.add_scenario("fast", execution_times={"a": 1, "b": 1})
+    sadf.add_scenario("slow", execution_times={"a": 2, "b": 3})
+    sadf.set_fsm(ScenarioFSM("fast", [("fast", "slow", 1), ("slow", "fast", 2)]))
+    return sadf
+
+
+class TestMultiScenarioSweep:
+    def test_h263_frames_front(self):
+        result = explore_design_space(h263_frames(), "mc")
+        assert result.complete
+        assert [(p.size, p.throughput) for p in result.front] == [
+            (9, Fraction(1, 13)),
+            (10, Fraction(1, 11)),
+        ]
+        assert result.max_throughput == Fraction(1, 11)
+        assert result.stats.strategy == SADF_STRATEGY
+
+    def test_front_points_reexecute_to_their_worst_case(self):
+        frames = h263_frames()
+        result = explore_design_space(frames, "mc")
+        for point in result.front:
+            fresh = worst_case_throughput(frames, point.distribution, "mc")
+            assert fresh.worst_case == point.throughput
+
+    def test_toy_front(self):
+        result = explore_design_space(two_mode(), "b")
+        assert result.complete
+        assert [(p.size, p.throughput) for p in result.front] == [
+            (1, Fraction(1, 5))
+        ]
+
+    def test_max_size_restricts(self):
+        result = explore_design_space(h263_frames(), "mc", max_size=9)
+        assert [(p.size, p.throughput) for p in result.front] == [
+            (9, Fraction(1, 13))
+        ]
+
+    def test_strategy_rejected(self):
+        with pytest.raises(ExplorationError, match="dependency"):
+            explore_design_space(two_mode(), "b", strategy="exhaustive")
+
+    def test_shared_evaluator_rejected(self):
+        config = ExplorationConfig(evaluator=object())
+        with pytest.raises(ExplorationError, match="evaluator"):
+            explore_design_space(two_mode(), "b", config=config)
+
+    def test_max_worst_case(self):
+        assert max_worst_case_throughput(h263_frames(), "mc") == Fraction(1, 11)
+
+    def test_minimal_distribution(self):
+        point = minimal_sadf_distribution_for_throughput(
+            h263_frames(), Fraction(1, 13), "mc"
+        )
+        assert point is not None and point.size == 9
+        assert minimal_sadf_distribution_for_throughput(
+            h263_frames(), Fraction(1, 2), "mc"
+        ) is None
+        with pytest.raises(ExplorationError, match="positive"):
+            minimal_sadf_distribution_for_throughput(h263_frames(), Fraction(0), "mc")
+
+
+class TestBudgetAndResume:
+    def test_budget_yields_partial_with_token(self):
+        config = ExplorationConfig(budget=Budget(max_probes=3))
+        result = explore_design_space(h263_frames(), "mc", config=config)
+        assert not result.complete
+        assert result.exhausted == "probes"
+        assert result.resume_token is not None
+        payload = result.resume_token.payload
+        assert payload["format"] == SADF_CHECKPOINT_FORMAT
+        assert set(payload["scenarios"]) == {"i", "p"}
+
+    def test_resume_reaches_full_front(self):
+        config = ExplorationConfig(budget=Budget(max_probes=3))
+        partial = explore_design_space(h263_frames(), "mc", config=config)
+        resumed = explore_design_space(
+            h263_frames(), "mc", resume=partial.resume_token
+        )
+        full = explore_design_space(h263_frames(), "mc")
+        assert resumed.complete
+        assert resumed.front.to_dicts() == full.front.to_dicts()
+
+    def test_checkpoint_file_roundtrip(self, tmp_path):
+        path = tmp_path / "sadf.ckpt.json"
+        config = ExplorationConfig(budget=Budget(max_probes=3), checkpoint=path)
+        partial = explore_design_space(h263_frames(), "mc", config=config)
+        assert not partial.complete and path.exists()
+        resumed = explore_design_space(h263_frames(), "mc", resume=str(path))
+        full = explore_design_space(h263_frames(), "mc")
+        assert resumed.front.to_dicts() == full.front.to_dicts()
+
+    def test_sdf_checkpoint_rejected(self, tmp_path, fig1):
+        path = tmp_path / "sdf.ckpt.json"
+        explore_sdf(fig1, "c", config=ExplorationConfig(checkpoint=path))
+        with pytest.raises(CheckpointError, match=SADF_CHECKPOINT_FORMAT):
+            explore_design_space(h263_frames(), "mc", resume=str(path))
+
+    def test_wrong_graph_rejected(self):
+        partial = explore_design_space(
+            h263_frames(), "mc",
+            config=ExplorationConfig(budget=Budget(max_probes=3)),
+        )
+        with pytest.raises(CheckpointError, match="was written for graph"):
+            explore_design_space(two_mode(), "b", resume=partial.resume_token)
+
+
+class TestServiceHooks:
+    def test_on_export_banks_every_scenario(self):
+        exported = {}
+        explore_design_space(
+            h263_frames(), "mc",
+            on_export=lambda name, state: exported.setdefault(name, state),
+        )
+        assert set(exported) == {"i", "p"}
+        assert all(state["memo"] for state in exported.values())
+
+    def test_scenario_states_warm_start(self):
+        exported = {}
+        cold = explore_design_space(
+            h263_frames(), "mc",
+            on_export=lambda name, state: exported.setdefault(name, state),
+        )
+        # The service plane banks memo + ceiling only (restoring a
+        # job's stats would inflate the next job's counters).
+        seeds = {
+            name: {"ceiling": state.get("ceiling"), "memo": state["memo"]}
+            for name, state in exported.items()
+        }
+        warm = explore_design_space(h263_frames(), "mc", scenario_states=seeds)
+        assert warm.front.to_dicts() == cold.front.to_dicts()
+        assert warm.stats.evaluations == 0
+        assert warm.stats.cache_hits > 0
+
+    def test_degenerate_with_hooks_still_bit_identical(self, fig1):
+        exported = {}
+        sadf = from_sdf(fig1)
+        plain = explore_sdf(fig1, "c")
+        result = explore_design_space(
+            sadf, "c", on_export=lambda name, state: exported.setdefault(name, state)
+        )
+        assert result.front.to_dicts() == plain.front.to_dicts()
+        assert set(exported) == {"default"}
+        seeds = {
+            name: {"ceiling": state.get("ceiling"), "memo": state["memo"]}
+            for name, state in exported.items()
+        }
+        warm = explore_design_space(sadf, "c", scenario_states=seeds)
+        assert warm.front.to_dicts() == plain.front.to_dicts()
+        assert warm.stats.evaluations == 0

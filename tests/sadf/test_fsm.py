@@ -1,0 +1,97 @@
+"""Unit tests for the scenario FSM and its cycle enumeration."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.sadf.fsm import MAX_ENUMERATED_CYCLES, ScenarioFSM, ScenarioTransition
+
+
+class TestConstruction:
+    def test_transition_validation(self):
+        with pytest.raises(GraphError, match="non-empty"):
+            ScenarioTransition("", "b")
+        with pytest.raises(GraphError, match=">= 0"):
+            ScenarioTransition("a", "b", delay=-1)
+        with pytest.raises(GraphError, match="must be int"):
+            ScenarioTransition("a", "b", delay=True)
+
+    def test_one_edge_per_ordered_pair(self):
+        fsm = ScenarioFSM("a")
+        fsm.add_transition("a", "b", 1)
+        with pytest.raises(GraphError, match="duplicate transition"):
+            fsm.add_transition("a", "b", 2)
+        fsm.add_transition("b", "a")  # the reverse direction is distinct
+
+    def test_single(self):
+        fsm = ScenarioFSM.single("s")
+        assert fsm.states == ("s",)
+        assert fsm.has_zero_delay_self_loop("s")
+        assert fsm.is_fully_connected()
+
+    def test_complete(self):
+        fsm = ScenarioFSM.complete(("a", "b", "c"), delay=2)
+        assert len(fsm.transitions) == 9
+        assert fsm.is_fully_connected()
+        assert fsm.max_delay == 2
+        assert not fsm.has_zero_delay_self_loop("a")
+
+
+class TestStructure:
+    def test_reachable_ignores_disconnected(self):
+        fsm = ScenarioFSM("a")
+        fsm.add_transition("a", "b")
+        fsm.add_transition("c", "d")  # not reachable from a
+        assert fsm.reachable() == ("a", "b")
+        assert not fsm.is_fully_connected()
+
+    def test_successors_and_lookup(self):
+        fsm = ScenarioFSM("a")
+        fsm.add_transition("a", "b", 3)
+        fsm.add_transition("a", "a")
+        assert [t.target for t in fsm.successors("a")] == ["b", "a"]
+        assert fsm.transition("a", "b").delay == 3
+        assert fsm.transition("b", "a") is None
+
+
+class TestSimpleCycles:
+    def test_zero_delay_self_loops_excluded(self):
+        fsm = ScenarioFSM.single("s")
+        cycles, truncated = fsm.simple_cycles()
+        assert cycles == () and not truncated
+
+    def test_delayed_self_loop_is_a_cycle(self):
+        fsm = ScenarioFSM("s", [("s", "s", 4)])
+        cycles, truncated = fsm.simple_cycles()
+        assert len(cycles) == 1 and not truncated
+        assert cycles[0][0].delay == 4
+
+    def test_two_state_tour_found_once(self):
+        fsm = ScenarioFSM("a")
+        fsm.add_transition("a", "a")
+        fsm.add_transition("a", "b", 1)
+        fsm.add_transition("b", "b")
+        fsm.add_transition("b", "a", 2)
+        cycles, truncated = fsm.simple_cycles()
+        assert not truncated
+        assert len(cycles) == 1  # a->b->a, discovered at its lowest root only
+        states = tuple(t.source for t in cycles[0])
+        assert set(states) == {"a", "b"}
+        assert sum(t.delay for t in cycles[0]) == 3
+
+    def test_unreachable_cycles_ignored(self):
+        fsm = ScenarioFSM("a", [("a", "a", 1), ("x", "y", 0), ("y", "x", 0)])
+        cycles, _ = fsm.simple_cycles()
+        assert len(cycles) == 1
+
+    def test_truncation_flag(self):
+        # A complete 5-state FSM with delays has far more than 8
+        # simple cycles.
+        fsm = ScenarioFSM.complete(tuple("abcde"), delay=1)
+        cycles, truncated = fsm.simple_cycles(limit=8)
+        assert truncated and len(cycles) == 8
+        full, truncated_full = fsm.simple_cycles(limit=10**6)
+        assert not truncated_full and len(full) > MAX_ENUMERATED_CYCLES
+
+    def test_describe(self):
+        fsm = ScenarioFSM("a", [("a", "b", 2)])
+        assert fsm.describe() == "initial=a; a->b(2)"
